@@ -1,0 +1,77 @@
+// Command vdce-bench regenerates the paper's evaluation: one experiment per
+// figure (plus the two quantitative claims made in prose), printed as
+// aligned tables or CSV.
+//
+// Usage:
+//
+//	vdce-bench                 # run everything
+//	vdce-bench -exp FIG4,FIG5  # run selected experiments
+//	vdce-bench -csv            # CSV output
+//	vdce-bench -seed 7         # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
+	"FIG1":      experiments.Fig1MultiSite,
+	"FIG2":      experiments.Fig2Pipeline,
+	"FIG3":      experiments.Fig3LinearSolver,
+	"FIG4":      experiments.Fig4SiteScheduler,
+	"FIG5":      experiments.Fig5HostSelection,
+	"FIG6":      experiments.Fig6Monitoring,
+	"FIG7":      experiments.Fig7ExecSetup,
+	"TAB-PRED":  experiments.PredictionAccuracy,
+	"TAB-SCHED": experiments.ScheduleQuality,
+}
+
+var experimentOrder = []string{
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED",
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED) or 'all'")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	ids := experimentOrder
+	if *exp != "all" {
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := experimentFuncs[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+					id, strings.Join(experimentOrder, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		r, err := experimentFuncs[id](*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s ==\n", r.ID)
+		if *csv {
+			fmt.Print(r.Series.CSV())
+		} else {
+			fmt.Print(r.Series.Render())
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,38 @@
+// Command vdce-editor serves the Application Editor's web API: the
+// task-library menus, AFG validation, and user login — the stand-in for the
+// paper's Java-applet editor served by the Site Manager.
+//
+//	vdce-editor -listen 127.0.0.1:8080 -user haluk -password pw
+//	curl http://127.0.0.1:8080/libraries
+//	curl -X POST -d @app.afg.json http://127.0.0.1:8080/validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/editor"
+	"repro/internal/repository"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	user := flag.String("user", "", "seed user account name (empty disables auth)")
+	password := flag.String("password", "", "seed user account password")
+	flag.Parse()
+
+	var users *repository.UserAccountsDB
+	if *user != "" {
+		users = repository.NewUserAccountsDB()
+		if _, err := users.Add(repository.UserAccount{
+			UserName: *user, Password: *password, Priority: 1, AccessDomain: "wide-area",
+		}); err != nil {
+			log.Fatalf("vdce-editor: %v", err)
+		}
+	}
+	srv := editor.NewServer(nil, users)
+	fmt.Printf("vdce-editor: serving on http://%s (endpoints: /libraries /tasks /validate /login)\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

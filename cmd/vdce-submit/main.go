@@ -1,0 +1,95 @@
+// Command vdce-submit is the VDCE client: it sends an application flow
+// graph to a running vdce-server site for distributed scheduling and
+// execution, then prints the resource allocation table and the outputs.
+//
+// The application comes either from a stored AFG JSON file (-afg) or from a
+// built-in generator (-app linsolver|c3i|fourier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/rpc"
+	"os"
+	"sort"
+
+	"repro/internal/afg"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9001", "vdce-server RPC address")
+	afgPath := flag.String("afg", "", "path to a stored AFG JSON file")
+	app := flag.String("app", "linsolver", "built-in application: linsolver, c3i, fourier")
+	n := flag.Int("n", 128, "problem size (matrix n / signal length / samples)")
+	seed := flag.Int("seed", 1, "workload seed")
+	parallel := flag.Bool("parallel", false, "run the LU task in parallel mode")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *afgPath != "" {
+		data, err = os.ReadFile(*afgPath)
+		if err != nil {
+			log.Fatalf("vdce-submit: %v", err)
+		}
+		if _, err := afg.Decode(data); err != nil {
+			log.Fatalf("vdce-submit: invalid AFG: %v", err)
+		}
+	} else {
+		var g *afg.Graph
+		switch *app {
+		case "linsolver":
+			g, err = workload.LinearSolver(nil, *n, *seed, *parallel, 2)
+		case "c3i":
+			g, err = workload.C3IScenario(nil, 4, *n, *seed)
+		case "fourier":
+			g, err = workload.FourierPipeline(nil, *n, 17, *seed)
+		default:
+			log.Fatalf("vdce-submit: unknown app %q", *app)
+		}
+		if err != nil {
+			log.Fatalf("vdce-submit: %v", err)
+		}
+		data, err = g.Encode()
+		if err != nil {
+			log.Fatalf("vdce-submit: %v", err)
+		}
+	}
+
+	client, err := rpc.Dial("tcp", *server)
+	if err != nil {
+		log.Fatalf("vdce-submit: dial %s: %v", *server, err)
+	}
+	defer client.Close()
+
+	var reply site.SubmitReply
+	if err := client.Call("Site.Submit", site.SubmitArgs{AFG: data}, &reply); err != nil {
+		log.Fatalf("vdce-submit: %v", err)
+	}
+
+	fmt.Printf("Resource allocation table (%d tasks):\n", len(reply.Table))
+	var ids []afg.TaskID
+	for id := range reply.Table {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		a := reply.Table[id]
+		fmt.Printf("  %-12s -> %s/%s (predicted %.4gs)\n", id, a.Site, a.Host, a.Predicted)
+	}
+	fmt.Printf("Makespan: %.4gs, reschedules: %d\n", reply.MakespanSec, reply.Rescheduled)
+	if len(reply.Outputs) > 0 {
+		fmt.Println("Outputs:")
+		var outs []afg.TaskID
+		for id := range reply.Outputs {
+			outs = append(outs, id)
+		}
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+		for _, id := range outs {
+			fmt.Printf("  %-12s %s\n", id, reply.Outputs[id])
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a Go reproduction of "The Software Architecture of a
+// Virtual Distributed Computing Environment" (Topcuoglu, Hariri, Furmanski,
+// Valente et al., HPDC 1997): the VDCE metacomputing middleware — the
+// Application Editor, the distributed Application Scheduler with its
+// performance-prediction model, and the Runtime System (Control Manager +
+// Data Manager) — plus the substrates it depends on (task libraries, site
+// repositories, resource monitoring, a WAN model) and an evaluation harness
+// reproducing every figure in the paper.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for measured
+// results against the paper's claims. The root-level bench_test.go wraps
+// each experiment in a testing.B benchmark.
+package repro

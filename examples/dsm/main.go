@@ -1,0 +1,101 @@
+// Shared-memory paradigm (the paper's stated future work, §3): tasks
+// cooperate through named DSM regions instead of dataflow links. A producer
+// publishes a matrix into the region "A"; worker nodes — one in-process
+// with push invalidation, one attached over TCP RPC — each read it, solve
+// against their own right-hand side, and publish results back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dsm"
+	"repro/internal/matrix"
+	"repro/internal/tasklib"
+)
+
+func main() {
+	home := dsm.NewHome()
+	addr, stop, err := home.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	fmt.Printf("DSM home serving on %s\n", addr)
+
+	// Producer: build a 64×64 system and publish it.
+	producer := dsm.NewNode(home, dsm.Push)
+	defer producer.Close()
+	a := matrix.Identity(64)
+	for i := 0; i < 64; i++ {
+		a.Set(i, i, float64(i+2))
+	}
+	blob, err := tasklib.MatrixValue(a).Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := producer.Write("A", blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("producer published region A (64x64 matrix)")
+
+	// Two workers: one local (push invalidation), one over RPC
+	// (validate-on-read) — the cross-site sharer.
+	remote := dsm.DialHome(addr)
+	defer remote.Close()
+	workers := []struct {
+		name string
+		node *dsm.Node
+	}{
+		{"local-push", dsm.NewNode(home, dsm.Push)},
+		{"remote-rpc", dsm.NewNode(remote, dsm.Validate)},
+	}
+	for i, w := range workers {
+		defer w.node.Close()
+		raw, err := w.node.Read("A")
+		if err != nil {
+			log.Fatal(err)
+		}
+		val, err := tasklib.DecodeValue(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := make([]float64, 64)
+		for j := range b {
+			b[j] = float64((i + 1) * (j + 1))
+		}
+		x, err := matrix.Solve(val.Matrix, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := matrix.Residual(val.Matrix, x, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := tasklib.VectorValue(x).Encode()
+		if err != nil {
+			log.Fatal(err)
+		}
+		region := fmt.Sprintf("x%d", i)
+		if err := w.node.Write(region, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("worker %-10s solved A·x=b%d, residual %.2g, published %q\n",
+			w.name, i, res, region)
+	}
+
+	// The producer collects both results through the same shared memory.
+	for i := range workers {
+		raw, err := producer.Read(fmt.Sprintf("x%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		val, err := tasklib.DecodeValue(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("producer read x%d: vector[%d]\n", i, len(val.Vector))
+	}
+	stores, fetches, stats := home.Stats()
+	fmt.Printf("home traffic: %d stores, %d fetches, %d stats\n", stores, fetches, stats)
+}

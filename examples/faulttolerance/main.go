@@ -1,0 +1,82 @@
+// Fault tolerance: hosts fail after the scheduler has placed work on them,
+// and the Runtime System's Application Controller discovers the failures,
+// requests rescheduling from the site, and completes the application on the
+// survivors — the paper's §2.3.1 failure path ("the machine is marked as
+// 'down' ... to prevent further task mappings").
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/vis"
+	"repro/internal/workload"
+)
+
+func main() {
+	env := core.NewEnvironment(core.Options{Seed: 13})
+	m, err := env.AddSite("syracuse", 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, err := workload.LinearSolver(nil, 128, 2, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run once on the healthy site.
+	res, table, err := env.Submit(context.Background(), "syracuse", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Healthy run:")
+	fmt.Print(vis.ApplicationPerformance(res))
+
+	// Fail the hosts the scheduler liked best — without telling the
+	// repository, so the next schedule walks straight into them.
+	victims := map[string]bool{}
+	for _, a := range table.Entries {
+		victims[a.Host] = true
+	}
+	fmt.Println("\nFailing hosts mid-flight:")
+	count := 0
+	for h := range victims {
+		if count >= 2 { // keep some survivors
+			break
+		}
+		fmt.Printf("  %s goes down\n", h)
+		m.Pool.Get(h).SetDown(true)
+		count++
+	}
+
+	res2, _, err := env.Submit(context.Background(), "syracuse", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nRun with failures (note the reschedule annotations):")
+	fmt.Print(vis.ApplicationPerformance(res2))
+	fmt.Printf("\nReschedule events: %d — residual still %.3g\n",
+		res2.Rescheduled, res2.Outputs["check"].Scalar)
+
+	// The monitoring plane catches up: after a Group Manager round the
+	// repository knows, and future schedules avoid the dead hosts without
+	// any runtime retries.
+	env.TickMonitors()
+	res3, table3, err := env.Submit(context.Background(), "syracuse", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAfter a monitoring round: %d reschedules (repository already knew)\n", res3.Rescheduled)
+	fmt.Println("Placement now avoids the failed hosts:")
+	for _, id := range table3.Order() {
+		a := table3.Entries[id]
+		down := ""
+		if m.Pool.Get(a.Host).IsDown() {
+			down = "  <-- BUG"
+		}
+		fmt.Printf("  %-8s -> %s%s\n", id, a.Host, down)
+	}
+}

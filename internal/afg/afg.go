@@ -1,0 +1,371 @@
+// Package afg implements the Application Flow Graph (AFG), the dataflow
+// program representation produced by the VDCE Application Editor and
+// consumed by the Application Scheduler and Runtime System.
+//
+// An AFG is a directed acyclic graph G = (T, L): nodes are tasks selected
+// from the VDCE task libraries and a directed link (i, j) means task i must
+// complete before task j starts (paper §2.1). Each task carries the
+// properties the editor's pop-up panel exposes — computational mode
+// (sequential/parallel), machine-type preference, and processor count — plus
+// the cost metadata the scheduler reads from the task-performance database.
+package afg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within one application flow graph.
+type TaskID string
+
+// Mode is the computational mode of a task (editor task-properties panel).
+type Mode int
+
+// Computational modes.
+const (
+	Sequential Mode = iota
+	Parallel
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Task is one node of an application flow graph.
+type Task struct {
+	ID       TaskID // unique within the graph
+	Function string // task-library function, e.g. "matrix.lu"
+
+	// Editor-specified preferences (paper Fig 3 right panel).
+	Mode        Mode   // sequential or parallel execution
+	Processors  int    // processor count for parallel mode (>=1)
+	MachineType string // preferred architecture type; "" = any
+
+	// Scheduler-visible cost metadata (task-performance database).
+	ComputeCost float64 // execution time on the base processor, unit input
+	MemReq      int64   // bytes of memory required
+	OutputBytes int64   // bytes produced for each successor
+
+	// Params are opaque task arguments (e.g. matrix size) passed to the
+	// task-library function at execution time.
+	Params map[string]string
+}
+
+// Clone returns a deep copy of t.
+func (t *Task) Clone() *Task {
+	c := *t
+	if t.Params != nil {
+		c.Params = make(map[string]string, len(t.Params))
+		for k, v := range t.Params {
+			c.Params[k] = v
+		}
+	}
+	return &c
+}
+
+// Link is a directed precedence/communication edge between two tasks.
+//
+// Port is the input's logical port index on the destination task (the
+// paper's editor marks "logical ports" on each task icon): a task's inputs
+// are presented to its function in ascending Port order, which makes input
+// order explicit and stable across serialisation. Port 0 on a task that
+// already has parents means "auto-assign the next free port".
+type Link struct {
+	From, To TaskID
+	Bytes    int64 // data volume transferred From → To
+	Port     int   // input port index on To
+}
+
+// Graph is an application flow graph.
+type Graph struct {
+	Name  string
+	tasks map[TaskID]*Task
+	succ  map[TaskID][]Link // outgoing links, keyed by From
+	pred  map[TaskID][]Link // incoming links, keyed by To
+}
+
+// Common graph errors.
+var (
+	ErrDuplicateTask = errors.New("afg: duplicate task id")
+	ErrUnknownTask   = errors.New("afg: unknown task id")
+	ErrSelfLink      = errors.New("afg: link from a task to itself")
+	ErrDuplicateLink = errors.New("afg: duplicate link")
+	ErrCycle         = errors.New("afg: graph contains a cycle")
+	ErrEmpty         = errors.New("afg: graph has no tasks")
+	ErrPortConflict  = errors.New("afg: input port already connected")
+)
+
+// New returns an empty application flow graph.
+func New(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		tasks: make(map[TaskID]*Task),
+		succ:  make(map[TaskID][]Link),
+		pred:  make(map[TaskID][]Link),
+	}
+}
+
+// AddTask inserts a task node. The task's ID must be unique.
+func (g *Graph) AddTask(t *Task) error {
+	if t.ID == "" {
+		return fmt.Errorf("afg: empty task id")
+	}
+	if _, ok := g.tasks[t.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+	}
+	if t.Processors < 1 {
+		t.Processors = 1
+	}
+	g.tasks[t.ID] = t
+	return nil
+}
+
+// AddLink inserts a directed link. Both endpoints must already exist and
+// the link must not introduce a cycle. A zero Port on a task that already
+// has parents is auto-assigned the next free port; use AddLinkExact to
+// force port 0.
+func (g *Graph) AddLink(l Link) error {
+	return g.addLink(l, true)
+}
+
+// AddLinkExact inserts a link honouring l.Port exactly (deserialisation and
+// editors that manage ports themselves).
+func (g *Graph) AddLinkExact(l Link) error {
+	return g.addLink(l, false)
+}
+
+func (g *Graph) addLink(l Link, autoPort bool) error {
+	if l.From == l.To {
+		return fmt.Errorf("%w: %q", ErrSelfLink, l.From)
+	}
+	if _, ok := g.tasks[l.From]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, l.From)
+	}
+	if _, ok := g.tasks[l.To]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTask, l.To)
+	}
+	for _, e := range g.succ[l.From] {
+		if e.To == l.To {
+			return fmt.Errorf("%w: %s -> %s", ErrDuplicateLink, l.From, l.To)
+		}
+	}
+	if g.reachable(l.To, l.From) {
+		return fmt.Errorf("%w: adding %s -> %s", ErrCycle, l.From, l.To)
+	}
+	if autoPort && l.Port == 0 && len(g.pred[l.To]) > 0 {
+		// Auto-assign the next free input port.
+		next := 0
+		for _, e := range g.pred[l.To] {
+			if e.Port >= next {
+				next = e.Port + 1
+			}
+		}
+		l.Port = next
+	}
+	for _, e := range g.pred[l.To] {
+		if e.Port == l.Port {
+			return fmt.Errorf("%w: port %d on %s already connected (from %s)",
+				ErrPortConflict, l.Port, l.To, e.From)
+		}
+	}
+	g.succ[l.From] = append(g.succ[l.From], l)
+	g.pred[l.To] = append(g.pred[l.To], l)
+	// Keep parents in port order: a task's inputs arrive in this order.
+	sort.Slice(g.pred[l.To], func(i, j int) bool {
+		return g.pred[l.To][i].Port < g.pred[l.To][j].Port
+	})
+	return nil
+}
+
+// reachable reports whether dst is reachable from src by directed links.
+func (g *Graph) reachable(src, dst TaskID) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[TaskID]bool{src: true}
+	stack := []TaskID{src}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.succ[cur] {
+			if e.To == dst {
+				return true
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return false
+}
+
+// Task returns the task with the given id, or nil if absent.
+func (g *Graph) Task(id TaskID) *Task { return g.tasks[id] }
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// TaskIDs returns all task ids in deterministic (sorted) order.
+func (g *Graph) TaskIDs() []TaskID {
+	ids := make([]TaskID, 0, len(g.tasks))
+	for id := range g.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Links returns every link in deterministic order.
+func (g *Graph) Links() []Link {
+	var out []Link
+	for _, id := range g.TaskIDs() {
+		out = append(out, g.succ[id]...)
+	}
+	return out
+}
+
+// Parents returns the incoming links of id.
+func (g *Graph) Parents(id TaskID) []Link { return g.pred[id] }
+
+// Children returns the outgoing links of id.
+func (g *Graph) Children(id TaskID) []Link { return g.succ[id] }
+
+// Entries returns the tasks with no parents, in sorted order. The paper
+// calls these "entry tasks"; the Site Scheduler treats them specially.
+func (g *Graph) Entries() []TaskID {
+	var out []TaskID
+	for _, id := range g.TaskIDs() {
+		if len(g.pred[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Exits returns the tasks with no children ("exit nodes", §2.2).
+func (g *Graph) Exits() []TaskID {
+	var out []TaskID
+	for _, id := range g.TaskIDs() {
+		if len(g.succ[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: non-empty and acyclic. AddLink
+// already prevents cycles, but Validate also covers graphs built by
+// deserialisation.
+func (g *Graph) Validate() error {
+	if len(g.tasks) == 0 {
+		return ErrEmpty
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological ordering (Kahn's algorithm
+// with a sorted frontier) or ErrCycle.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	indeg := make(map[TaskID]int, len(g.tasks))
+	for id := range g.tasks {
+		indeg[id] = len(g.pred[id])
+	}
+	var frontier []TaskID
+	for _, id := range g.TaskIDs() {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	var order []TaskID
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, e := range g.succ[id] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				frontier = append(frontier, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Levels computes the list-scheduling priority of every task (paper §2.2):
+// the level of a node is the largest sum of computation costs along any path
+// from the node to an exit node, inclusive of the node's own cost. Higher
+// level ⇒ higher scheduling priority.
+func (g *Graph) Levels() (map[TaskID]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	levels := make(map[TaskID]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var best float64
+		for _, e := range g.succ[id] {
+			if l := levels[e.To]; l > best {
+				best = l
+			}
+		}
+		levels[id] = best + g.tasks[id].ComputeCost
+	}
+	return levels, nil
+}
+
+// CriticalPathLength returns the largest level value — the lower bound on
+// schedule length ignoring communication.
+func (g *Graph) CriticalPathLength() (float64, error) {
+	levels, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	var max float64
+	for _, l := range levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// TotalWork returns the sum of all task computation costs.
+func (g *Graph) TotalWork() float64 {
+	var sum float64
+	for _, t := range g.tasks {
+		sum += t.ComputeCost
+	}
+	return sum
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for id, t := range g.tasks {
+		c.tasks[id] = t.Clone()
+	}
+	for id, links := range g.succ {
+		c.succ[id] = append([]Link(nil), links...)
+	}
+	for id, links := range g.pred {
+		c.pred[id] = append([]Link(nil), links...)
+	}
+	return c
+}

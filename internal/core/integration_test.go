@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/afg"
+	"repro/internal/site"
+	"repro/internal/workload"
+)
+
+// TestEnvironmentUnderChurn is the repository's end-to-end stress test:
+// live monitors, concurrent application submissions from different sites,
+// socket-mode data movement, and a host failure in the middle — everything
+// the paper's runtime is supposed to absorb, all at once, under -race.
+func TestEnvironmentUnderChurn(t *testing.T) {
+	env := NewEnvironment(Options{
+		Seed:       99,
+		SiteConfig: site.Config{UseSockets: true, GroupSize: 2},
+	})
+	for _, s := range []string{"syracuse", "rome", "nyc"} {
+		if _, err := env.AddSite(s, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	env.StartMonitors(ctx, 2*time.Millisecond)
+
+	// Fail one host shortly after submissions begin.
+	m, _ := env.Site("rome")
+	victim := m.Pool.Names()[0]
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		m.Pool.Get(victim).SetDown(true)
+	}()
+
+	const apps = 5
+	var wg sync.WaitGroup
+	errs := make([]error, apps)
+	sites := env.Sites()
+	for i := 0; i < apps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := mustGraph(t, i)
+			_, _, err := env.Submit(context.Background(), sites[i%len(sites)], g)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("app %d failed under churn: %v", i, err)
+		}
+	}
+	// After a monitoring round the repository must reflect the failure.
+	deadline := time.After(2 * time.Second)
+	for {
+		rec, err := m.Repo.Resources.Get(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Dynamic.Down {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("failure never reached the repository")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func mustGraph(t *testing.T, i int) *afg.Graph {
+	t.Helper()
+	switch i % 3 {
+	case 0:
+		g, err := workload.LinearSolver(nil, 16, i, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	case 1:
+		g, err := workload.C3IScenario(nil, 3, 128, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	default:
+		g, err := workload.FourierPipeline(nil, 256, 5+i, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}

@@ -1,0 +1,304 @@
+// Package dsm implements the distributed shared memory model the paper
+// names as work in progress (§3: "We are also implementing a distributed
+// shared memory model that will allow VDCE users to describe their
+// applications using shared-memory paradigm").
+//
+// The design is a home-based write-invalidate protocol: every named region
+// has a home manager that serialises writes and owns the authoritative
+// version number. Nodes cache region contents; a cached entry is used only
+// while its version is current. Version currency is established either by
+// push invalidation (in-process subscribers) or by validate-on-read (a
+// Stat round-trip — the mode that works across RPC, where the home cannot
+// call back into clients). Because all writes serialise at the home, the
+// resulting history is sequentially consistent per region.
+package dsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Version is a region's monotonically increasing write counter.
+type Version uint64
+
+// Common errors.
+var (
+	ErrNoRegion = errors.New("dsm: no such region")
+	ErrClosed   = errors.New("dsm: node closed")
+)
+
+// HomeAPI is what a node needs from a region's home: the minimal protocol
+// surface (implemented in-process by *Home and over the wire by *RPCClient).
+type HomeAPI interface {
+	// Stat returns the current version of a region.
+	Stat(name string) (Version, error)
+	// Fetch returns a region's contents and version.
+	Fetch(name string) ([]byte, Version, error)
+	// Store replaces a region's contents, returning the new version.
+	// Creating a region is a Store to a new name.
+	Store(name string, data []byte) (Version, error)
+}
+
+// Home is the authoritative manager for a set of regions.
+type Home struct {
+	mu      sync.Mutex
+	regions map[string]*region
+	subs    map[int]func(name string, v Version)
+	nextSub int
+
+	// stats
+	stores, fetches, stats int
+}
+
+type region struct {
+	data    []byte
+	version Version
+}
+
+// NewHome returns an empty home manager.
+func NewHome() *Home {
+	return &Home{
+		regions: make(map[string]*region),
+		subs:    make(map[int]func(string, Version)),
+	}
+}
+
+// Stat implements HomeAPI.
+func (h *Home) Stat(name string) (Version, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stats++
+	r, ok := h.regions[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoRegion, name)
+	}
+	return r.version, nil
+}
+
+// Fetch implements HomeAPI.
+func (h *Home) Fetch(name string) ([]byte, Version, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fetches++
+	r, ok := h.regions[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNoRegion, name)
+	}
+	cp := append([]byte(nil), r.data...)
+	return cp, r.version, nil
+}
+
+// Store implements HomeAPI: writes serialise here, giving per-region
+// sequential consistency; push subscribers are invalidated after the
+// version bump.
+func (h *Home) Store(name string, data []byte) (Version, error) {
+	h.mu.Lock()
+	h.stores++
+	r, ok := h.regions[name]
+	if !ok {
+		r = &region{}
+		h.regions[name] = r
+	}
+	r.data = append([]byte(nil), data...)
+	r.version++
+	v := r.version
+	// Snapshot subscribers so callbacks run outside the lock.
+	cbs := make([]func(string, Version), 0, len(h.subs))
+	for _, cb := range h.subs {
+		cbs = append(cbs, cb)
+	}
+	h.mu.Unlock()
+	for _, cb := range cbs {
+		cb(name, v)
+	}
+	return v, nil
+}
+
+// Subscribe registers a push-invalidation callback (in-process nodes) and
+// returns an unsubscribe function.
+func (h *Home) Subscribe(cb func(name string, v Version)) func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.nextSub
+	h.nextSub++
+	h.subs[id] = cb
+	return func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		delete(h.subs, id)
+	}
+}
+
+// Regions lists region names, sorted.
+func (h *Home) Regions() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.regions))
+	for n := range h.regions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns (stores, fetches, stats) counters.
+func (h *Home) Stats() (int, int, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stores, h.fetches, h.stats
+}
+
+// ---------------------------------------------------------------------------
+// Node: the client-side cache
+// ---------------------------------------------------------------------------
+
+// Mode selects how a node establishes cache currency.
+type Mode int
+
+// Cache-coherence modes.
+const (
+	// Validate checks the region version with a Stat on every read —
+	// works over any HomeAPI transport, saves data transfer for large
+	// regions.
+	Validate Mode = iota
+	// Push trusts in-process invalidation callbacks and skips Stat;
+	// requires the home to be a *Home in this process.
+	Push
+)
+
+type cached struct {
+	data    []byte
+	version Version
+	valid   bool
+}
+
+// Node is one sharer of the memory: a read-through, write-through cache
+// over a HomeAPI.
+type Node struct {
+	home HomeAPI
+	mode Mode
+
+	mu     sync.Mutex
+	cache  map[string]cached
+	closed bool
+	unsub  func()
+
+	hits, misses int
+}
+
+// NewNode attaches a node to a home. Push mode requires home to be a *Home
+// (it falls back to Validate otherwise).
+func NewNode(home HomeAPI, mode Mode) *Node {
+	n := &Node{home: home, mode: mode, cache: make(map[string]cached)}
+	if mode == Push {
+		if h, ok := home.(*Home); ok {
+			n.unsub = h.Subscribe(n.invalidate)
+		} else {
+			n.mode = Validate
+		}
+	}
+	return n
+}
+
+// invalidate is the push-invalidation callback.
+func (n *Node) invalidate(name string, v Version) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.cache[name]; ok && c.version < v {
+		c.valid = false
+		n.cache[name] = c
+	}
+}
+
+// Read returns the region's current contents, from cache when current.
+func (n *Node) Read(name string) ([]byte, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c, ok := n.cache[name]
+	n.mu.Unlock()
+
+	if ok && c.valid {
+		if n.mode == Push {
+			n.recordHit()
+			return append([]byte(nil), c.data...), nil
+		}
+		// Validate mode: one Stat round-trip establishes currency.
+		v, err := n.home.Stat(name)
+		if err != nil {
+			return nil, err
+		}
+		if v == c.version {
+			n.recordHit()
+			return append([]byte(nil), c.data...), nil
+		}
+	}
+	n.recordMiss()
+	data, v, err := n.home.Fetch(name)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.cache[name] = cached{data: data, version: v, valid: true}
+	n.mu.Unlock()
+	return append([]byte(nil), data...), nil
+}
+
+// Write stores new contents through to the home and updates the local
+// cache (read-your-writes).
+func (n *Node) Write(name string, data []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	n.mu.Unlock()
+	v, err := n.home.Store(name, data)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	// Only install if newer: a concurrent writer may already have
+	// advanced the region past our version.
+	if c, ok := n.cache[name]; !ok || c.version <= v {
+		n.cache[name] = cached{data: append([]byte(nil), data...), version: v, valid: true}
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// HitRate returns cache hits and misses.
+func (n *Node) HitRate() (hits, misses int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hits, n.misses
+}
+
+func (n *Node) recordHit() {
+	n.mu.Lock()
+	n.hits++
+	n.mu.Unlock()
+}
+
+func (n *Node) recordMiss() {
+	n.mu.Lock()
+	n.misses++
+	n.mu.Unlock()
+}
+
+// Close detaches the node.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	if n.unsub != nil {
+		n.unsub()
+	}
+}

@@ -1,0 +1,269 @@
+package dsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreFetchStat(t *testing.T) {
+	h := NewHome()
+	if _, err := h.Stat("x"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := h.Fetch("x"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := h.Store("x", []byte("one"))
+	if err != nil || v != 1 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	data, v2, err := h.Fetch("x")
+	if err != nil || v2 != 1 || string(data) != "one" {
+		t.Fatalf("fetch = %q v%d err=%v", data, v2, err)
+	}
+	v3, _ := h.Store("x", []byte("two"))
+	if v3 != 2 {
+		t.Fatalf("v3 = %d", v3)
+	}
+	if got, _ := h.Stat("x"); got != 2 {
+		t.Fatalf("stat = %d", got)
+	}
+	if regions := h.Regions(); len(regions) != 1 || regions[0] != "x" {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestHomeCopiesData(t *testing.T) {
+	h := NewHome()
+	buf := []byte("mutable")
+	h.Store("r", buf)
+	buf[0] = 'X'
+	data, _, _ := h.Fetch("r")
+	if string(data) != "mutable" {
+		t.Fatal("home aliased caller buffer")
+	}
+	data[0] = 'Y'
+	again, _, _ := h.Fetch("r")
+	if string(again) != "mutable" {
+		t.Fatal("fetch aliased home buffer")
+	}
+}
+
+func TestNodeReadYourWrites(t *testing.T) {
+	h := NewHome()
+	n := NewNode(h, Validate)
+	defer n.Close()
+	if err := n.Write("r", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := n.Read("r")
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("read = %q err=%v", data, err)
+	}
+	hits, misses := n.HitRate()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d (write-through should have primed the cache)", hits, misses)
+	}
+}
+
+func TestNodesSeeEachOthersWrites(t *testing.T) {
+	for _, mode := range []Mode{Validate, Push} {
+		h := NewHome()
+		a := NewNode(h, mode)
+		b := NewNode(h, mode)
+		a.Write("r", []byte("from-a"))
+		got, err := b.Read("r")
+		if err != nil || string(got) != "from-a" {
+			t.Fatalf("mode %v: b read %q err=%v", mode, got, err)
+		}
+		b.Write("r", []byte("from-b"))
+		got, err = a.Read("r")
+		if err != nil || string(got) != "from-b" {
+			t.Fatalf("mode %v: a read %q err=%v", mode, got, err)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestPushModeAvoidsStatTraffic(t *testing.T) {
+	h := NewHome()
+	n := NewNode(h, Push)
+	defer n.Close()
+	n.Write("r", []byte("v"))
+	for i := 0; i < 10; i++ {
+		if _, err := n.Read("r"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, stats := h.Stats()
+	if stats != 0 {
+		t.Fatalf("push mode issued %d Stat calls", stats)
+	}
+	hits, _ := n.HitRate()
+	if hits != 10 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestValidateModeRevalidates(t *testing.T) {
+	h := NewHome()
+	n := NewNode(h, Validate)
+	defer n.Close()
+	n.Write("r", []byte("v"))
+	n.Read("r")
+	_, _, statsBefore := h.Stats()
+	n.Read("r")
+	_, _, statsAfter := h.Stats()
+	if statsAfter != statsBefore+1 {
+		t.Fatalf("validate mode should Stat per read: %d -> %d", statsBefore, statsAfter)
+	}
+}
+
+func TestPushInvalidation(t *testing.T) {
+	h := NewHome()
+	a := NewNode(h, Push)
+	b := NewNode(h, Push)
+	defer a.Close()
+	defer b.Close()
+	a.Write("r", []byte("old"))
+	b.Read("r") // b caches "old"
+	a.Write("r", []byte("new"))
+	got, err := b.Read("r")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("stale read after invalidation: %q err=%v", got, err)
+	}
+}
+
+func TestClosedNode(t *testing.T) {
+	h := NewHome()
+	n := NewNode(h, Push)
+	n.Close()
+	n.Close() // idempotent
+	if _, err := n.Read("r"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := n.Write("r", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnsubscribeOnClose(t *testing.T) {
+	h := NewHome()
+	n := NewNode(h, Push)
+	n.Close()
+	// A write after close must not panic or deadlock on the dead
+	// subscriber.
+	if _, err := h.Store("r", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersSequentiallyConsistent(t *testing.T) {
+	h := NewHome()
+	const writers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := NewNode(h, Push)
+			defer n.Close()
+			for i := 0; i < rounds; i++ {
+				if err := n.Write("shared", []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := n.Read("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, _ := h.Stat("shared"); v != writers*rounds {
+		t.Fatalf("version = %d, want %d (every write must bump exactly once)", v, writers*rounds)
+	}
+}
+
+// Property: after any interleaving of writes through two nodes, a fresh
+// read from either node returns the last written value, and versions are
+// strictly monotone.
+func TestPropertyLastWriteWins(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHome()
+		nodes := []*Node{NewNode(h, Push), NewNode(h, Validate)}
+		defer nodes[0].Close()
+		defer nodes[1].Close()
+		var last []byte
+		var lastVer Version
+		for i := 0; i < 30; i++ {
+			n := nodes[rng.Intn(2)]
+			val := []byte(fmt.Sprintf("v%d", i))
+			if err := n.Write("r", val); err != nil {
+				return false
+			}
+			last = val
+			v, err := h.Stat("r")
+			if err != nil || v <= lastVer {
+				return false
+			}
+			lastVer = v
+		}
+		for _, n := range nodes {
+			got, err := n.Read("r")
+			if err != nil || !bytes.Equal(got, last) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRPCTransport(t *testing.T) {
+	h := NewHome()
+	addr, stop, err := h.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client := DialHome(addr)
+	defer client.Close()
+
+	// A remote node (validate mode forced over RPC, even if Push asked).
+	n := NewNode(client, Push)
+	defer n.Close()
+	if err := n.Write("r", []byte("over-rpc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.Read("r")
+	if err != nil || string(got) != "over-rpc" {
+		t.Fatalf("read = %q err=%v", got, err)
+	}
+	// A local in-process node shares with the remote one.
+	local := NewNode(h, Push)
+	defer local.Close()
+	lv, err := local.Read("r")
+	if err != nil || string(lv) != "over-rpc" {
+		t.Fatalf("local read = %q err=%v", lv, err)
+	}
+	local.Write("r", []byte("updated-locally"))
+	got, err = n.Read("r")
+	if err != nil || string(got) != "updated-locally" {
+		t.Fatalf("remote read after local write = %q err=%v", got, err)
+	}
+	// Missing regions error across the wire too.
+	if _, err := n.Read("ghost"); err == nil {
+		t.Fatal("missing region accepted over RPC")
+	}
+}

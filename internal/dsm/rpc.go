@@ -1,0 +1,173 @@
+package dsm
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// RPC transport: a Home served over TCP so nodes in other processes (other
+// VDCE sites) can share regions. Validate-mode nodes work unchanged over
+// this transport — currency is established by the Stat round-trip, so no
+// server-to-client callback channel is needed.
+
+// RPCService adapts a Home to net/rpc.
+type RPCService struct{ h *Home }
+
+// StatArgs/StatReply carry the Stat call.
+type StatArgs struct{ Name string }
+
+// StatReply returns the version.
+type StatReply struct{ Version Version }
+
+// Stat is the RPC Stat endpoint.
+func (s *RPCService) Stat(args StatArgs, reply *StatReply) error {
+	v, err := s.h.Stat(args.Name)
+	if err != nil {
+		return err
+	}
+	reply.Version = v
+	return nil
+}
+
+// FetchArgs/FetchReply carry the Fetch call.
+type FetchArgs struct{ Name string }
+
+// FetchReply returns contents and version.
+type FetchReply struct {
+	Data    []byte
+	Version Version
+}
+
+// Fetch is the RPC Fetch endpoint.
+func (s *RPCService) Fetch(args FetchArgs, reply *FetchReply) error {
+	data, v, err := s.h.Fetch(args.Name)
+	if err != nil {
+		return err
+	}
+	reply.Data = data
+	reply.Version = v
+	return nil
+}
+
+// StoreArgs/StoreReply carry the Store call.
+type StoreArgs struct {
+	Name string
+	Data []byte
+}
+
+// StoreReply returns the new version.
+type StoreReply struct{ Version Version }
+
+// Store is the RPC Store endpoint.
+func (s *RPCService) Store(args StoreArgs, reply *StoreReply) error {
+	v, err := s.h.Store(args.Name, args.Data)
+	if err != nil {
+		return err
+	}
+	reply.Version = v
+	return nil
+}
+
+// Serve exposes the home on addr; returns the bound address and a stop
+// function.
+func (h *Home) Serve(addr string) (string, func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("DSM", &RPCService{h: h}); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("dsm: listen %s: %w", addr, err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// RPCClient is a HomeAPI over a TCP connection to a served Home.
+type RPCClient struct {
+	addr string
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+// DialHome connects to a served home.
+func DialHome(addr string) *RPCClient {
+	return &RPCClient{addr: addr}
+}
+
+func (c *RPCClient) conn() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client != nil {
+		return c.client, nil
+	}
+	cl, err := rpc.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("dsm: dial %s: %w", c.addr, err)
+	}
+	c.client = cl
+	return cl, nil
+}
+
+// Stat implements HomeAPI.
+func (c *RPCClient) Stat(name string) (Version, error) {
+	cl, err := c.conn()
+	if err != nil {
+		return 0, err
+	}
+	var reply StatReply
+	if err := cl.Call("DSM.Stat", StatArgs{Name: name}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Version, nil
+}
+
+// Fetch implements HomeAPI.
+func (c *RPCClient) Fetch(name string) ([]byte, Version, error) {
+	cl, err := c.conn()
+	if err != nil {
+		return nil, 0, err
+	}
+	var reply FetchReply
+	if err := cl.Call("DSM.Fetch", FetchArgs{Name: name}, &reply); err != nil {
+		return nil, 0, err
+	}
+	return reply.Data, reply.Version, nil
+}
+
+// Store implements HomeAPI.
+func (c *RPCClient) Store(name string, data []byte) (Version, error) {
+	cl, err := c.conn()
+	if err != nil {
+		return 0, err
+	}
+	var reply StoreReply
+	if err := cl.Call("DSM.Store", StoreArgs{Name: name, Data: data}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Version, nil
+}
+
+// Close shuts the connection.
+func (c *RPCClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.client != nil {
+		c.client.Close()
+		c.client = nil
+	}
+}
+
+var _ HomeAPI = (*RPCClient)(nil)
+var _ HomeAPI = (*Home)(nil)

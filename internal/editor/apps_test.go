@@ -1,0 +1,97 @@
+package editor
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestHTTPAppsStoreAndRetrieve(t *testing.T) {
+	srv, _ := newHTTP(t)
+	b := buildSolver(t)
+	data, err := b.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store under haluk/solver.
+	resp, err := http.Post(srv.URL+"/apps?owner=haluk&name=solver", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("store status = %d", resp.StatusCode)
+	}
+	// List.
+	resp, err = http.Get(srv.URL + "/apps?owner=haluk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct{ Apps []string }
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Apps) != 1 || list.Apps[0] != "solver" {
+		t.Fatalf("apps = %v", list.Apps)
+	}
+	// Retrieve and rebuild through the editor.
+	resp, err = http.Get(srv.URL + "/apps?owner=haluk&name=solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	back, err := Load(raw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.SetMode(RunMode)
+	g, err := back.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("restored graph has %d tasks", g.Len())
+	}
+}
+
+func TestHTTPAppsRejectsInvalidGraph(t *testing.T) {
+	srv, _ := newHTTP(t)
+	bad := []byte(`{"name":"cyc","tasks":[{"id":"a","function":"f"},{"id":"b","function":"f"}],
+		"links":[{"From":"a","To":"b"},{"From":"b","To":"a"}]}`)
+	resp, err := http.Post(srv.URL+"/apps?owner=u&name=bad", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPAppsMissing(t *testing.T) {
+	srv, _ := newHTTP(t)
+	resp, err := http.Get(srv.URL + "/apps?owner=u&name=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Method guard.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/apps?owner=u&name=x", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

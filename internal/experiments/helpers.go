@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/afg"
+	"repro/internal/monitor"
+	"repro/internal/repository"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+)
+
+// repoSite builds a repository for a homogeneous-speed site with uniform
+// random loads in [0, loadMax).
+func repoSite(name string, hosts int, speed, loadMax float64, seed int64) *repository.Repository {
+	repo := repository.New()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < hosts; i++ {
+		host := fmt.Sprintf("%s-%02d", name, i)
+		repo.Resources.Register(repository.ResourceStatic{
+			HostName: host, Site: name, Arch: "solaris",
+			TotalMemory: 1 << 30, SpeedFactor: speed,
+		})
+		repo.Resources.UpdateDynamic(host, rng.Float64()*loadMax, 1<<30, time.Now())
+	}
+	return repo
+}
+
+// repoSiteSpeeds builds a site with explicit per-host speed factors and
+// idle loads (fully deterministic — used by the Fig 4 experiment).
+func repoSiteSpeeds(name string, speeds []float64) *repository.Repository {
+	repo := repository.New()
+	for i, sp := range speeds {
+		host := fmt.Sprintf("%s-%02d", name, i)
+		repo.Resources.Register(repository.ResourceStatic{
+			HostName: host, Site: name, Arch: "solaris",
+			TotalMemory: 1 << 30, SpeedFactor: sp,
+		})
+		repo.Resources.UpdateDynamic(host, 0, 1<<30, time.Now())
+	}
+	return repo
+}
+
+// repoSiteSkewed builds a heterogeneous site with speed spread and a heavy
+// load skew: half the hosts idle, half heavily loaded.
+func repoSiteSkewed(name string, hosts int, spread float64, seed int64) *repository.Repository {
+	repo := repository.New()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < hosts; i++ {
+		host := fmt.Sprintf("%s-%02d", name, i)
+		speed := 1 + rng.Float64()*(spread-1)
+		repo.Resources.Register(repository.ResourceStatic{
+			HostName: host, Site: name, Arch: "solaris",
+			TotalMemory: 1 << 30, SpeedFactor: speed,
+		})
+		load := rng.Float64() * 0.3
+		if i%2 == 1 {
+			load = 2 + rng.Float64()*3
+		}
+		repo.Resources.UpdateDynamic(host, load, 1<<30, time.Now())
+	}
+	return repo
+}
+
+// truthFromRepos builds the ground-truth time model directly from the
+// repositories' recorded speeds/loads (the repositories ARE the truth in
+// these closed-world experiments).
+func truthFromRepos(sites map[string]*repository.Repository) scheduler.TimeModel {
+	specs := map[string]repository.ResourceRecord{}
+	for _, repo := range sites {
+		for _, rec := range repo.Resources.List() {
+			specs[rec.Static.HostName] = rec
+		}
+	}
+	return func(task *afg.Task, host string) float64 {
+		rec, ok := specs[host]
+		if !ok {
+			return task.ComputeCost
+		}
+		return task.ComputeCost / rec.Static.SpeedFactor * (1 + rec.Dynamic.Load)
+	}
+}
+
+// independentTasks builds a graph of n unconnected tasks (pure placement
+// benchmark: no precedence effects).
+func independentTasks(n int, maxCost float64, seed int64) *afg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := afg.New(fmt.Sprintf("independent-%d", n))
+	for i := 0; i < n; i++ {
+		g.AddTask(&afg.Task{
+			ID:          afg.TaskID(fmt.Sprintf("t%03d", i)),
+			Function:    "synthetic.noop",
+			ComputeCost: 0.2 + rng.Float64()*maxCost,
+		})
+	}
+	return g
+}
+
+// genHosts builds n hosts; the first busyFrac×n are volatile shared
+// machines, the rest are idle workstations with constant load.
+func genHosts(n int, busyFrac float64, seed int64) []*resource.Host {
+	busy := int(busyFrac*float64(n) + 0.5)
+	var out []*resource.Host
+	for i := 0; i < n; i++ {
+		model := resource.LoadModel{Baseline: 0.05, Volatility: 0, Rho: 0.9}
+		if i < busy {
+			model = resource.LoadModel{Baseline: 0.6, Volatility: 0.3, Rho: 0.6}
+		}
+		out = append(out, resource.NewHost(
+			resource.HostSpec{Name: fmt.Sprintf("h%02d", i), Site: "syr", TotalMemory: 1 << 30},
+			model, seed+int64(i)))
+	}
+	return out
+}
+
+// countingSink tallies Group Manager output.
+type countingSink struct {
+	updates int
+	downs   int
+	ups     int
+}
+
+func (s *countingSink) UpdateWorkload(monitor.Measurement) { s.updates++ }
+func (s *countingSink) HostDown(string, time.Time)         { s.downs++ }
+func (s *countingSink) HostUp(string, time.Time)           { s.ups++ }
+
+// runMonitorRounds runs 100 monitoring rounds over 32 hosts (busyFrac of
+// them volatile) and returns the number of forwarded updates.
+func runMonitorRounds(busyFrac float64, disableFilter bool, seed int64) int {
+	hosts := genHosts(32, busyFrac, seed)
+	cfg := monitor.DefaultConfig
+	cfg.DisableFilter = disableFilter
+	sink := &countingSink{}
+	gm := monitor.NewGroupManager("g", "syr", hosts, sink, cfg, nil)
+	for r := 0; r < 100; r++ {
+		gm.Tick()
+	}
+	return gm.Stats().Forwarded
+}

@@ -1,0 +1,394 @@
+// Package matrix provides the dense linear-algebra substrate used by the
+// VDCE task libraries: matrix construction, arithmetic, LU decomposition
+// with partial pivoting, triangular solves, inversion, and norms.
+//
+// The paper's flagship application (Fig 3) is a Linear Equation Solver
+// built from LU decomposition, matrix inversion, and matrix multiplication
+// tasks; this package supplies those kernels with real computational load.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// ErrDimension is returned when operand dimensions are incompatible.
+var ErrDimension = errors.New("matrix: incompatible dimensions")
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// New returns a zero-initialised r×c matrix.
+func New(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, ErrDimension
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.Cols {
+			return nil, ErrDimension
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], row)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether m and n have identical shape and elements within tol.
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return nil, ErrDimension
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - n.
+func (m *Matrix) Sub(n *Matrix) (*Matrix, error) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return nil, ErrDimension
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out, nil
+}
+
+// Scale returns s*m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Mul returns the matrix product m*n using a cache-friendly ikj loop order.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, ErrDimension
+	}
+	out := New(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			for j, nv := range nrow {
+				orow[j] += mv * nv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.Cols != len(x) {
+		return nil, ErrDimension
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// NormInf returns the infinity (max absolute row sum) norm.
+func (m *Matrix) NormInf() float64 {
+	var max float64
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Data[i*m.Cols : (i+1)*m.Cols] {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// LU holds an LU factorization with partial pivoting: P*A = L*U, where L is
+// unit lower triangular and U is upper triangular, packed into LU.
+type LU struct {
+	N     int
+	LU    *Matrix // combined L (strict lower, unit diagonal implied) and U
+	Pivot []int   // row permutation: row i of P*A is row Pivot[i] of A
+	Signs int     // +1 or -1, sign of the permutation (for determinants)
+}
+
+// Factor computes the LU decomposition of the square matrix a with partial
+// pivoting. It returns ErrSingular if a zero pivot is encountered.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |value| in column k at or below row k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			r1 := lu.Data[k*n : (k+1)*n]
+			r2 := lu.Data[p*n : (p+1)*n]
+			for j := range r1 {
+				r1[j], r2[j] = r2[j], r1[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			mult := lu.At(i, k) / pivVal
+			lu.Set(i, k, mult)
+			if mult == 0 {
+				continue
+			}
+			irow := lu.Data[i*n : (i+1)*n]
+			krow := lu.Data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				irow[j] -= mult * krow[j]
+			}
+		}
+	}
+	return &LU{N: n, LU: lu, Pivot: piv, Signs: sign}, nil
+}
+
+// Solve solves A*x = b for x given the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.N {
+		return nil, ErrDimension
+	}
+	n := f.N
+	x := make([]float64, n)
+	// Apply permutation, then forward substitution (L is unit lower).
+	for i := 0; i < n; i++ {
+		x[i] = b[f.Pivot[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := f.LU.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution (U).
+	for i := n - 1; i >= 0; i-- {
+		row := f.LU.Data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A*X = B column by column.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
+	if b.Rows != f.N {
+		return nil, ErrDimension
+	}
+	out := New(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.Signs)
+	for i := 0; i < f.N; i++ {
+		d *= f.LU.At(i, i)
+	}
+	return d
+}
+
+// L extracts the unit lower-triangular factor.
+func (f *LU) L() *Matrix {
+	n := f.N
+	l := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			l.Set(i, j, f.LU.At(i, j))
+		}
+		l.Set(i, i, 1)
+	}
+	return l
+}
+
+// U extracts the upper-triangular factor.
+func (f *LU) U() *Matrix {
+	n := f.N
+	u := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			u.Set(i, j, f.LU.At(i, j))
+		}
+	}
+	return u
+}
+
+// PermutedCopy returns P*A for the original matrix a (a convenience used by
+// tests to verify P*A = L*U).
+func (f *LU) PermutedCopy(a *Matrix) *Matrix {
+	n := f.N
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*n:(i+1)*n], a.Data[f.Pivot[i]*n:(f.Pivot[i]+1)*n])
+	}
+	return out
+}
+
+// Inverse computes A⁻¹ via LU decomposition.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows))
+}
+
+// Solve solves A*x = b directly (factor + solve).
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Residual returns ||A*x - b||∞, a correctness measure for solver results.
+func Residual(a *Matrix, x, b []float64) (float64, error) {
+	ax, err := a.MulVec(x)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != len(ax) {
+		return 0, ErrDimension
+	}
+	var max float64
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// String renders a small matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d", m.Rows, m.Cols)
+	if m.Rows*m.Cols <= 64 {
+		for i := 0; i < m.Rows; i++ {
+			s += "\n "
+			for j := 0; j < m.Cols; j++ {
+				s += fmt.Sprintf("%8.3f", m.At(i, j))
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package matrix
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelMul returns m*n computed with p worker goroutines splitting the
+// output rows. p <= 0 selects GOMAXPROCS workers. This is the "parallel
+// execution mode" kernel the paper's Application Editor exposes per task
+// (Fig 3: LU Decomposition run in parallel on two nodes).
+func (m *Matrix) ParallelMul(n *Matrix, p int) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, ErrDimension
+	}
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > m.Rows {
+		p = m.Rows
+	}
+	out := New(m.Rows, n.Cols)
+	var wg sync.WaitGroup
+	chunk := (m.Rows + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for k, mv := range mrow {
+					if mv == 0 {
+						continue
+					}
+					nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
+					for j, nv := range nrow {
+						orow[j] += mv * nv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// ParallelFactor computes an LU decomposition with partial pivoting where
+// each elimination step's row updates are split across p goroutines.
+// For small n it falls back to the sequential Factor.
+func ParallelFactor(a *Matrix, p int) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if n < 64 || p == 1 {
+		return Factor(a)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		p0 := k
+		max := abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := abs(lu.At(i, k)); v > max {
+				max, p0 = v, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p0 != k {
+			r1 := lu.Data[k*n : (k+1)*n]
+			r2 := lu.Data[p0*n : (p0+1)*n]
+			for j := range r1 {
+				r1[j], r2[j] = r2[j], r1[j]
+			}
+			piv[k], piv[p0] = piv[p0], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		rows := n - (k + 1)
+		if rows <= 0 {
+			continue
+		}
+		workers := p
+		if workers > rows {
+			workers = rows
+		}
+		chunk := (rows + workers - 1) / workers
+		krow := lu.Data[k*n : (k+1)*n]
+		for w := 0; w < workers; w++ {
+			lo := k + 1 + w*chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					irow := lu.Data[i*n : (i+1)*n]
+					mult := irow[k] / pivVal
+					irow[k] = mult
+					if mult == 0 {
+						continue
+					}
+					for j := k + 1; j < n; j++ {
+						irow[j] -= mult * krow[j]
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return &LU{N: n, LU: lu, Pivot: piv, Signs: sign}, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

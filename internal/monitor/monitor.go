@@ -1,0 +1,236 @@
+// Package monitor implements the Resource Controller's monitoring plane
+// (paper §2.3.1, Fig 6): a Monitor daemon per VDCE machine that periodically
+// measures processor parameters, a Group Manager per host group that
+// aggregates measurements, forwards only *significantly changed* workloads
+// to the Site Manager (the confidence-interval rule), probes group members
+// with echo packets to detect node failures, and measures intra-group
+// network parameters.
+package monitor
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/predict"
+	"repro/internal/resource"
+)
+
+// Measurement is one Monitor-daemon reading: "up-to-date processor
+// parameters, i.e., CPU load and memory availability".
+type Measurement struct {
+	Host     string
+	Load     float64
+	AvailMem int64
+	At       time.Time
+}
+
+// Daemon is the per-host Monitor daemon. Measure advances the host's
+// synthetic background-load process and reports the current parameters;
+// the Group Manager polls it every period.
+type Daemon struct {
+	Host *resource.Host
+}
+
+// Measure takes one reading at the given timestamp.
+func (d *Daemon) Measure(at time.Time) Measurement {
+	load := d.Host.StepLoad()
+	return Measurement{
+		Host:     d.Host.Spec.Name,
+		Load:     load,
+		AvailMem: d.Host.AvailableMemory(),
+		At:       at,
+	}
+}
+
+// Sink receives the Group Manager's filtered output; the Site Manager
+// implements it by updating the site repository.
+type Sink interface {
+	// UpdateWorkload delivers a significantly changed measurement.
+	UpdateWorkload(m Measurement)
+	// HostDown reports a detected node failure.
+	HostDown(host string, at time.Time)
+	// HostUp reports a node answering echoes again after being down.
+	HostUp(host string, at time.Time)
+}
+
+// Stats counts monitoring traffic; the Fig 6 benchmark reads these to
+// quantify how much update traffic the change filter saves.
+type Stats struct {
+	Measurements int // readings taken by Monitor daemons
+	Forwarded    int // measurements forwarded to the Site Manager
+	EchoProbes   int // echo packets sent
+	FailuresSeen int // host-down transitions detected
+	RecoverySeen int // host-up transitions detected
+}
+
+// Config tunes the Group Manager.
+type Config struct {
+	// WindowSize is the number of recent measurements kept per host for
+	// the confidence-interval computation.
+	WindowSize int
+	// ConfidenceZ is the z-multiplier for the interval half-width
+	// (1.96 ≈ 95%).
+	ConfidenceZ float64
+	// DisableFilter forwards every measurement (the ablation baseline).
+	DisableFilter bool
+}
+
+// DefaultConfig matches the paper's description with a 95% interval.
+var DefaultConfig = Config{WindowSize: 16, ConfidenceZ: 1.96}
+
+type hostState struct {
+	daemon    *Daemon
+	window    *predict.Window
+	lastSent  float64
+	sentOnce  bool
+	down      bool
+	netLat    time.Duration // last measured intra-group latency
+	netRateBs float64       // last measured intra-group transfer rate
+}
+
+// GroupManager aggregates one host group. The group-leader machine runs it;
+// the Site Manager receives its filtered updates and failure reports.
+type GroupManager struct {
+	Name string
+
+	mu     sync.Mutex
+	cfg    Config
+	sink   Sink
+	net    *netsim.Network
+	site   string
+	hosts  map[string]*hostState
+	order  []string
+	stats  Stats
+	nowFun func() time.Time
+}
+
+// NewGroupManager builds a manager for the given hosts. net may be nil
+// (network parameter measurement then reports zeros).
+func NewGroupManager(name, site string, hosts []*resource.Host, sink Sink, cfg Config, net *netsim.Network) *GroupManager {
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = DefaultConfig.WindowSize
+	}
+	if cfg.ConfidenceZ <= 0 {
+		cfg.ConfidenceZ = DefaultConfig.ConfidenceZ
+	}
+	gm := &GroupManager{
+		Name:   name,
+		cfg:    cfg,
+		sink:   sink,
+		net:    net,
+		site:   site,
+		hosts:  make(map[string]*hostState, len(hosts)),
+		nowFun: time.Now,
+	}
+	for _, h := range hosts {
+		gm.hosts[h.Spec.Name] = &hostState{
+			daemon: &Daemon{Host: h},
+			window: predict.NewWindow(cfg.WindowSize),
+		}
+		gm.order = append(gm.order, h.Spec.Name)
+	}
+	return gm
+}
+
+// SetClock overrides the time source (deterministic tests).
+func (gm *GroupManager) SetClock(now func() time.Time) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	gm.nowFun = now
+}
+
+// Tick performs one monitoring round synchronously:
+//  1. every Monitor daemon measures its host,
+//  2. significantly changed workloads are forwarded to the sink,
+//  3. echo probes detect failures/recoveries,
+//  4. intra-group network parameters are refreshed.
+//
+// Run calls Tick on a period; benchmarks call it directly.
+func (gm *GroupManager) Tick() {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	now := gm.nowFun()
+	for _, name := range gm.order {
+		st := gm.hosts[name]
+
+		// Echo probe first: a down host cannot report measurements.
+		gm.stats.EchoProbes++
+		if st.daemon.Host.IsDown() {
+			if !st.down {
+				st.down = true
+				gm.stats.FailuresSeen++
+				gm.sink.HostDown(name, now)
+			}
+			continue
+		}
+		if st.down {
+			st.down = false
+			gm.stats.RecoverySeen++
+			gm.sink.HostUp(name, now)
+		}
+
+		m := st.daemon.Measure(now)
+		gm.stats.Measurements++
+
+		// Echo round-trips double as network measurement within the group
+		// ("these packets are used ... to measure the network parameters").
+		if gm.net != nil {
+			p := gm.net.Path(gm.site, gm.site)
+			st.netLat = p.Latency
+			st.netRateBs = p.Bandwidth
+		}
+
+		width := st.window.ConfidenceWidth(gm.cfg.ConfidenceZ)
+		significant := gm.cfg.DisableFilter || !st.sentOnce ||
+			predict.SignificantChange(st.lastSent, m.Load, width)
+		st.window.Observe(m.Load)
+		if significant {
+			st.lastSent = m.Load
+			st.sentOnce = true
+			gm.stats.Forwarded++
+			gm.sink.UpdateWorkload(m)
+		}
+	}
+}
+
+// Run ticks until the context is cancelled.
+func (gm *GroupManager) Run(ctx context.Context, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			gm.Tick()
+		}
+	}
+}
+
+// Stats returns a copy of the traffic counters.
+func (gm *GroupManager) Stats() Stats {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	return gm.stats
+}
+
+// NetworkParams returns the last measured intra-group latency and transfer
+// rate for a host (zero values when unmeasured).
+func (gm *GroupManager) NetworkParams(host string) (time.Duration, float64) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	st, ok := gm.hosts[host]
+	if !ok {
+		return 0, 0
+	}
+	return st.netLat, st.netRateBs
+}
+
+// Hosts returns the group's host names in order.
+func (gm *GroupManager) Hosts() []string {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	return append([]string(nil), gm.order...)
+}

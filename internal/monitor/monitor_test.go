@@ -1,0 +1,227 @@
+package monitor
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/resource"
+)
+
+// recordingSink captures everything the Group Manager forwards.
+type recordingSink struct {
+	mu        sync.Mutex
+	updates   []Measurement
+	downs     []string
+	ups       []string
+	downTimes []time.Time
+}
+
+func (s *recordingSink) UpdateWorkload(m Measurement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updates = append(s.updates, m)
+}
+func (s *recordingSink) HostDown(h string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.downs = append(s.downs, h)
+	s.downTimes = append(s.downTimes, at)
+}
+func (s *recordingSink) HostUp(h string, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ups = append(s.ups, h)
+}
+func (s *recordingSink) counts() (int, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.updates), len(s.downs), len(s.ups)
+}
+
+func quietHost(name string, seed int64) *resource.Host {
+	// Zero volatility: load is exactly constant, so after the first
+	// forwarded measurement every subsequent one must be filtered.
+	return resource.NewHost(resource.HostSpec{Name: name, Site: "syr", TotalMemory: 1 << 26},
+		resource.LoadModel{Baseline: 0.5, Volatility: 0, Rho: 0.9}, seed)
+}
+
+func noisyHost(name string, seed int64) *resource.Host {
+	return resource.NewHost(resource.HostSpec{Name: name, Site: "syr", TotalMemory: 1 << 26},
+		resource.LoadModel{Baseline: 0.5, Volatility: 0.6, Rho: 0.2}, seed)
+}
+
+func TestDaemonMeasure(t *testing.T) {
+	h := quietHost("h1", 1)
+	d := &Daemon{Host: h}
+	at := time.Unix(42, 0)
+	m := d.Measure(at)
+	if m.Host != "h1" || !m.At.Equal(at) {
+		t.Fatalf("m = %+v", m)
+	}
+	if m.AvailMem != 1<<26 {
+		t.Fatalf("mem = %d", m.AvailMem)
+	}
+	if m.Load < 0 {
+		t.Fatalf("load = %v", m.Load)
+	}
+}
+
+func TestFirstMeasurementAlwaysForwarded(t *testing.T) {
+	sink := &recordingSink{}
+	gm := NewGroupManager("g1", "syr", []*resource.Host{quietHost("h1", 1)}, sink, DefaultConfig, nil)
+	gm.Tick()
+	if u, _, _ := sink.counts(); u != 1 {
+		t.Fatalf("updates = %d, want 1", u)
+	}
+}
+
+func TestChangeFilterSuppressesQuietHosts(t *testing.T) {
+	sink := &recordingSink{}
+	hosts := []*resource.Host{quietHost("h1", 1), quietHost("h2", 2)}
+	gm := NewGroupManager("g1", "syr", hosts, sink, DefaultConfig, nil)
+	const rounds = 60
+	for i := 0; i < rounds; i++ {
+		gm.Tick()
+	}
+	st := gm.Stats()
+	if st.Measurements != rounds*2 {
+		t.Fatalf("measurements = %d", st.Measurements)
+	}
+	// A constant-load host forwards exactly its first measurement.
+	if st.Forwarded != 2 {
+		t.Fatalf("filter ineffective: %d of %d forwarded, want 2", st.Forwarded, st.Measurements)
+	}
+}
+
+func TestDisableFilterForwardsEverything(t *testing.T) {
+	sink := &recordingSink{}
+	cfg := DefaultConfig
+	cfg.DisableFilter = true
+	gm := NewGroupManager("g1", "syr", []*resource.Host{quietHost("h1", 1)}, sink, cfg, nil)
+	for i := 0; i < 20; i++ {
+		gm.Tick()
+	}
+	st := gm.Stats()
+	if st.Forwarded != st.Measurements {
+		t.Fatalf("forwarded %d of %d with filter disabled", st.Forwarded, st.Measurements)
+	}
+}
+
+func TestNoisyHostForwardsMore(t *testing.T) {
+	quiet := &recordingSink{}
+	gmQ := NewGroupManager("g", "syr", []*resource.Host{quietHost("h", 1)}, quiet, DefaultConfig, nil)
+	noisy := &recordingSink{}
+	gmN := NewGroupManager("g", "syr", []*resource.Host{noisyHost("h", 1)}, noisy, DefaultConfig, nil)
+	for i := 0; i < 80; i++ {
+		gmQ.Tick()
+		gmN.Tick()
+	}
+	q, n := gmQ.Stats().Forwarded, gmN.Stats().Forwarded
+	if n <= q {
+		t.Fatalf("noisy host (%d) should forward more than quiet host (%d)", n, q)
+	}
+}
+
+func TestFailureDetectionAndRecovery(t *testing.T) {
+	sink := &recordingSink{}
+	h := quietHost("h1", 1)
+	gm := NewGroupManager("g1", "syr", []*resource.Host{h}, sink, DefaultConfig, nil)
+	gm.Tick()
+	h.SetDown(true)
+	gm.Tick()
+	gm.Tick() // second tick must not re-report
+	_, downs, ups := sink.counts()
+	if downs != 1 {
+		t.Fatalf("downs = %d, want 1", downs)
+	}
+	if ups != 0 {
+		t.Fatalf("ups = %d", ups)
+	}
+	h.SetDown(false)
+	gm.Tick()
+	_, downs, ups = sink.counts()
+	if downs != 1 || ups != 1 {
+		t.Fatalf("downs=%d ups=%d after recovery", downs, ups)
+	}
+	st := gm.Stats()
+	if st.FailuresSeen != 1 || st.RecoverySeen != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDownHostNotMeasured(t *testing.T) {
+	sink := &recordingSink{}
+	h := quietHost("h1", 1)
+	h.SetDown(true)
+	gm := NewGroupManager("g1", "syr", []*resource.Host{h}, sink, DefaultConfig, nil)
+	gm.Tick()
+	st := gm.Stats()
+	if st.Measurements != 0 {
+		t.Fatalf("down host was measured: %+v", st)
+	}
+	if st.EchoProbes != 1 {
+		t.Fatalf("echo probes = %d", st.EchoProbes)
+	}
+}
+
+func TestNetworkParamsMeasured(t *testing.T) {
+	sink := &recordingSink{}
+	net := netsim.New(netsim.DefaultLAN, 1)
+	gm := NewGroupManager("g1", "syr", []*resource.Host{quietHost("h1", 1)}, sink, DefaultConfig, net)
+	gm.Tick()
+	lat, rate := gm.NetworkParams("h1")
+	if lat != netsim.DefaultLAN.Latency || rate != netsim.DefaultLAN.Bandwidth {
+		t.Fatalf("lat=%v rate=%v", lat, rate)
+	}
+	if l, r := gm.NetworkParams("ghost"); l != 0 || r != 0 {
+		t.Fatal("unknown host should report zeros")
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	sink := &recordingSink{}
+	h := quietHost("h1", 1)
+	gm := NewGroupManager("g1", "syr", []*resource.Host{h}, sink, DefaultConfig, nil)
+	fixed := time.Unix(1000, 0)
+	gm.SetClock(func() time.Time { return fixed })
+	h.SetDown(true)
+	gm.Tick()
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.downTimes) != 1 || !sink.downTimes[0].Equal(fixed) {
+		t.Fatalf("down time = %v", sink.downTimes)
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	sink := &recordingSink{}
+	gm := NewGroupManager("g1", "syr", []*resource.Host{noisyHost("h1", 1)}, sink, DefaultConfig, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		gm.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for gm.Stats().Measurements < 5 {
+		select {
+		case <-deadline:
+			t.Fatal("Run did not tick")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestHostsOrder(t *testing.T) {
+	hosts := []*resource.Host{quietHost("b", 1), quietHost("a", 2)}
+	gm := NewGroupManager("g1", "syr", hosts, &recordingSink{}, DefaultConfig, nil)
+	got := gm.Hosts()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("hosts = %v (insertion order expected)", got)
+	}
+}

@@ -1,0 +1,91 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAR1EmptyAndWarmup(t *testing.T) {
+	f := NewAR1(8)
+	if f.Forecast() != 0 {
+		t.Fatal("empty forecast should be 0")
+	}
+	f.Observe(0.5)
+	f.Observe(0.6)
+	// Too few pairs: falls back to window mean.
+	if got := f.Forecast(); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("warmup forecast = %v, want window mean 0.55", got)
+	}
+}
+
+func TestAR1LearnsExactProcess(t *testing.T) {
+	// Noise-free AR(1): load(t+1) = 0.1 + 0.8·load(t). The fitted model
+	// must forecast the next value almost exactly.
+	f := NewAR1(16)
+	v := 0.9
+	for i := 0; i < 20; i++ {
+		f.Observe(v)
+		v = 0.1 + 0.8*v
+	}
+	if got := f.Forecast(); math.Abs(got-v) > 1e-6 {
+		t.Fatalf("forecast %v, want %v", got, v)
+	}
+}
+
+func TestAR1ConstantSeriesDegenerateFit(t *testing.T) {
+	f := NewAR1(8)
+	for i := 0; i < 10; i++ {
+		f.Observe(0.4)
+	}
+	// Constant input makes the regression singular: fall back to mean.
+	if got := f.Forecast(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("forecast = %v", got)
+	}
+}
+
+func TestAR1NonNegative(t *testing.T) {
+	f := NewAR1(8)
+	// Steeply decreasing series would extrapolate below zero.
+	for _, v := range []float64{3, 2, 1, 0.2, 0.01, 0.001} {
+		f.Observe(v)
+	}
+	if f.Forecast() < 0 {
+		t.Fatal("forecast went negative")
+	}
+}
+
+func TestAR1MinimumWindow(t *testing.T) {
+	f := NewAR1(0)
+	if f.capacity != 4 {
+		t.Fatalf("capacity = %d", f.capacity)
+	}
+}
+
+func TestAR1BeatsLastValueOnMeanRevertingLoad(t *testing.T) {
+	// For a strongly mean-reverting process (low rho), AR(1) should beat
+	// naive persistence, which keeps chasing the noise.
+	rng := rand.New(rand.NewSource(4))
+	ar := NewAR1(32)
+	last := &LastValue{}
+	v := 0.5
+	var errAR, errLast float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		pa, pl := ar.Forecast(), last.Forecast()
+		v = 0.3*v + 0.7*0.5 + rng.NormFloat64()*0.15
+		if v < 0 {
+			v = 0
+		}
+		if i > 100 { // skip warmup
+			errAR += math.Abs(pa - v)
+			errLast += math.Abs(pl - v)
+		}
+		ar.Observe(v)
+		last.Observe(v)
+	}
+	if errAR >= errLast {
+		t.Fatalf("AR(1) (%v) should beat last-value (%v) on mean-reverting load",
+			errAR/n, errLast/n)
+	}
+}

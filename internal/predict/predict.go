@@ -1,0 +1,284 @@
+// Package predict implements VDCE's performance-prediction functions, the
+// "core of the built-in scheduling algorithms" (paper §2.2.1).
+//
+// The prediction of task i on resource j combines analytical modelling with
+// measurements of experimental runs:
+//
+//	Predict(taskᵢ, Rⱼ) = MeasuredTime(taskᵢ, R_base)
+//	                     × Weight(taskᵢ, Rⱼ)
+//	                     × (1 + CPUload(Rⱼ))
+//	                     × MemoryPenalty(MemReq(taskᵢ), MemAvail(Rⱼ))
+//
+// where Weight is the computing-power weight of Rⱼ relative to the base
+// processor for this task (obtained from trial runs) and CPUload is a
+// forecast computed from a window of recent workload measurements.
+package predict
+
+import (
+	"math"
+)
+
+// MemoryPenaltyFactor controls how strongly a memory deficit inflates the
+// prediction; a task needing twice the available memory pays
+// 1 + MemoryPenaltyFactor. The paper lists memory requirement/availability
+// among the prediction inputs without giving a closed form; a linear
+// thrashing penalty is the simplest model that makes memory-starved hosts
+// unattractive without forbidding them.
+const MemoryPenaltyFactor = 4.0
+
+// Inputs carries the parameters of one prediction, mirroring the paper's
+// list: measured base time, computing-power weight, memory requirement,
+// available memory, and (forecast) CPU load.
+type Inputs struct {
+	BaseTime  float64 // MeasuredTime(task, R_base), seconds for unit input
+	Weight    float64 // Weight(task, Rj); 1.0 = same speed as base
+	MemReq    int64   // bytes required by the task
+	MemAvail  int64   // bytes available on the host
+	CPULoad   float64 // forecast load on the host
+	InputSize float64 // input scale factor; 0 or 1 = unit input
+}
+
+// Seconds evaluates the prediction function.
+func Seconds(in Inputs) float64 {
+	base := in.BaseTime
+	if in.InputSize > 0 {
+		base *= in.InputSize
+	}
+	w := in.Weight
+	if w <= 0 {
+		w = 1
+	}
+	load := in.CPULoad
+	if load < 0 {
+		load = 0
+	}
+	return base * w * (1 + load) * memoryPenalty(in.MemReq, in.MemAvail)
+}
+
+func memoryPenalty(req, avail int64) float64 {
+	if req <= 0 || req <= avail {
+		return 1
+	}
+	if avail <= 0 {
+		return 1 + MemoryPenaltyFactor
+	}
+	deficit := float64(req-avail) / float64(req)
+	return 1 + MemoryPenaltyFactor*deficit
+}
+
+// WeightFromSpeed converts a host's raw speed factor into a default
+// computing-power weight (time ratio vs base processor). Used as the
+// fallback when no trial-run weight exists in the task-performance DB.
+func WeightFromSpeed(speedFactor float64) float64 {
+	if speedFactor <= 0 {
+		return 1
+	}
+	return 1 / speedFactor
+}
+
+// ---------------------------------------------------------------------------
+// Workload forecasting ("computed using forecasting techniques based on a
+// window of most recent workload measurements", §2.2.1)
+// ---------------------------------------------------------------------------
+
+// Forecaster predicts the next workload value from observed history.
+type Forecaster interface {
+	// Observe records a new measurement.
+	Observe(v float64)
+	// Forecast returns the predicted next value. With no observations it
+	// returns 0 (idle assumption).
+	Forecast() float64
+}
+
+// LastValue forecasts the most recent observation (the naive baseline used
+// in the forecasting ablation).
+type LastValue struct{ last float64 }
+
+// Observe implements Forecaster.
+func (f *LastValue) Observe(v float64) { f.last = v }
+
+// Forecast implements Forecaster.
+func (f *LastValue) Forecast() float64 { return f.last }
+
+// Window is a fixed-capacity ring of recent measurements supporting mean,
+// standard deviation, and a z-based confidence-interval width. The Group
+// Manager's significant-change rule (§2.3.1) compares a new measurement
+// against the previous one plus the confidence-interval width.
+type Window struct {
+	buf  []float64
+	n    int // count of valid entries (≤ cap)
+	next int // ring cursor
+}
+
+// NewWindow creates a window holding up to size samples (size ≥ 1).
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Observe appends a measurement, evicting the oldest when full.
+func (w *Window) Observe(v float64) {
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// Len returns the number of stored samples.
+func (w *Window) Len() int { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < w.n; i++ {
+		s += w.buf[i]
+	}
+	return s / float64(w.n)
+}
+
+// Std returns the sample standard deviation (0 when fewer than 2 samples).
+func (w *Window) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	var ss float64
+	for i := 0; i < w.n; i++ {
+		d := w.buf[i] - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(w.n-1))
+}
+
+// ConfidenceWidth returns z·s/√n, the half-width of the confidence interval
+// around the mean. z = 1.96 gives the usual 95% interval.
+func (w *Window) ConfidenceWidth(z float64) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return z * w.Std() / math.Sqrt(float64(w.n))
+}
+
+// Forecast returns the window mean, making *Window a Forecaster.
+func (w *Window) Forecast() float64 { return w.Mean() }
+
+// ExponentialSmoothing forecasts with s ← α·v + (1−α)·s.
+type ExponentialSmoothing struct {
+	Alpha float64
+	s     float64
+	init  bool
+}
+
+// NewExponentialSmoothing creates a smoother with the given α ∈ (0, 1].
+func NewExponentialSmoothing(alpha float64) *ExponentialSmoothing {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &ExponentialSmoothing{Alpha: alpha}
+}
+
+// Observe implements Forecaster.
+func (f *ExponentialSmoothing) Observe(v float64) {
+	if !f.init {
+		f.s = v
+		f.init = true
+		return
+	}
+	f.s = f.Alpha*v + (1-f.Alpha)*f.s
+}
+
+// Forecast implements Forecaster.
+func (f *ExponentialSmoothing) Forecast() float64 {
+	if !f.init {
+		return 0
+	}
+	return f.s
+}
+
+// AR1 fits a first-order autoregressive model load(t+1) ≈ c + ρ·load(t) to
+// the observation window by least squares and forecasts one step ahead.
+// This is the strongest of the provided forecasters for the persistent
+// load processes shared workstations exhibit.
+type AR1 struct {
+	win      *Window
+	prev     float64
+	has      bool
+	capacity int
+	pairs    [][2]float64 // (previous, next) observation pairs
+}
+
+// NewAR1 creates an AR(1) forecaster fitting over the last `window` pairs.
+func NewAR1(window int) *AR1 {
+	if window < 4 {
+		window = 4
+	}
+	return &AR1{win: NewWindow(window), capacity: window}
+}
+
+// Observe implements Forecaster.
+func (f *AR1) Observe(v float64) {
+	f.win.Observe(v)
+	if f.has {
+		f.pairs = append(f.pairs, [2]float64{f.prev, v})
+		if len(f.pairs) > f.capacity {
+			f.pairs = f.pairs[1:]
+		}
+	}
+	f.prev = v
+	f.has = true
+}
+
+// Forecast implements Forecaster: ĉ + ρ̂·last, falling back to the window
+// mean while too few pairs exist or the fit is degenerate.
+func (f *AR1) Forecast() float64 {
+	if len(f.pairs) < 3 {
+		return f.win.Mean()
+	}
+	var sx, sy, sxy, sxx float64
+	n := float64(len(f.pairs))
+	for _, p := range f.pairs {
+		sx += p[0]
+		sy += p[1]
+		sxy += p[0] * p[1]
+		sxx += p[0] * p[0]
+	}
+	den := n*sxx - sx*sx
+	if den < 1e-12 {
+		return f.win.Mean()
+	}
+	rho := (n*sxy - sx*sy) / den
+	c := (sy - rho*sx) / n
+	// Clamp to a stable, sane model; wild fits fall back to persistence.
+	if rho < -1 || rho > 1.2 {
+		return f.prev
+	}
+	pred := c + rho*f.prev
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}
+
+// SignificantChange implements the Group Manager filtering rule: a workload
+// measurement is significant iff it lies outside
+// [previous − width, previous + width] where width is the confidence-
+// interval half-width of the recent window (§2.3.1: "the up-to-date
+// measurement is higher or lower than the summation of the previous
+// measurement and the width of the confidence interval").
+func SignificantChange(previous, current, width float64) bool {
+	return current > previous+width || current < previous-width
+}
+
+// Interface conformance checks.
+var (
+	_ Forecaster = (*LastValue)(nil)
+	_ Forecaster = (*Window)(nil)
+	_ Forecaster = (*ExponentialSmoothing)(nil)
+	_ Forecaster = (*AR1)(nil)
+)

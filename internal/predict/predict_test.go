@@ -1,0 +1,251 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSecondsBasic(t *testing.T) {
+	// 10 s base × weight 0.5 × (1+1) load = 10 s.
+	got := Seconds(Inputs{BaseTime: 10, Weight: 0.5, CPULoad: 1})
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSecondsDefaults(t *testing.T) {
+	// Zero weight defaults to 1; negative load clamps to 0.
+	got := Seconds(Inputs{BaseTime: 3, Weight: 0, CPULoad: -5})
+	if got != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSecondsInputScale(t *testing.T) {
+	unit := Seconds(Inputs{BaseTime: 2, Weight: 1})
+	scaled := Seconds(Inputs{BaseTime: 2, Weight: 1, InputSize: 4})
+	if scaled != 4*unit {
+		t.Fatalf("unit=%v scaled=%v", unit, scaled)
+	}
+}
+
+func TestMemoryPenalty(t *testing.T) {
+	fits := Seconds(Inputs{BaseTime: 1, Weight: 1, MemReq: 100, MemAvail: 100})
+	if fits != 1 {
+		t.Fatalf("fits = %v", fits)
+	}
+	// Full deficit: avail = 0 → ×(1+4).
+	starved := Seconds(Inputs{BaseTime: 1, Weight: 1, MemReq: 100, MemAvail: 0})
+	if math.Abs(starved-5) > 1e-12 {
+		t.Fatalf("starved = %v", starved)
+	}
+	// Half deficit → ×(1+2).
+	half := Seconds(Inputs{BaseTime: 1, Weight: 1, MemReq: 100, MemAvail: 50})
+	if math.Abs(half-3) > 1e-12 {
+		t.Fatalf("half = %v", half)
+	}
+	// No requirement → no penalty even with zero memory.
+	if Seconds(Inputs{BaseTime: 1, Weight: 1, MemAvail: 0}) != 1 {
+		t.Fatal("zero-req task penalised")
+	}
+}
+
+func TestWeightFromSpeed(t *testing.T) {
+	if WeightFromSpeed(2) != 0.5 {
+		t.Fatal("2x speed should be weight 0.5")
+	}
+	if WeightFromSpeed(0) != 1 || WeightFromSpeed(-1) != 1 {
+		t.Fatal("invalid speed should default to weight 1")
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	var f LastValue
+	if f.Forecast() != 0 {
+		t.Fatal("empty forecast should be 0")
+	}
+	f.Observe(0.3)
+	f.Observe(0.9)
+	if f.Forecast() != 0.9 {
+		t.Fatalf("forecast = %v", f.Forecast())
+	}
+}
+
+func TestWindowMeanStd(t *testing.T) {
+	w := NewWindow(4)
+	if w.Mean() != 0 || w.Std() != 0 || w.Len() != 0 {
+		t.Fatal("empty window stats should be zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		w.Observe(v)
+	}
+	if w.Mean() != 2.5 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(w.Std()-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", w.Std(), wantStd)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(2)
+	w.Observe(10)
+	w.Observe(20)
+	w.Observe(30) // evicts 10
+	if w.Len() != 2 {
+		t.Fatalf("len = %d", w.Len())
+	}
+	if w.Mean() != 25 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+}
+
+func TestWindowMinimumSize(t *testing.T) {
+	w := NewWindow(0)
+	w.Observe(5)
+	if w.Mean() != 5 {
+		t.Fatal("size-0 window should clamp to 1")
+	}
+}
+
+func TestConfidenceWidth(t *testing.T) {
+	w := NewWindow(10)
+	w.Observe(1)
+	if w.ConfidenceWidth(1.96) != 0 {
+		t.Fatal("single sample should have zero width")
+	}
+	for _, v := range []float64{1, 1, 1, 1} {
+		w.Observe(v)
+	}
+	if w.ConfidenceWidth(1.96) != 0 {
+		t.Fatal("constant series should have zero width")
+	}
+	w2 := NewWindow(10)
+	for _, v := range []float64{0, 1, 0, 1} {
+		w2.Observe(v)
+	}
+	if w2.ConfidenceWidth(1.96) <= 0 {
+		t.Fatal("varying series should have positive width")
+	}
+}
+
+func TestExponentialSmoothing(t *testing.T) {
+	f := NewExponentialSmoothing(0.5)
+	if f.Forecast() != 0 {
+		t.Fatal("empty forecast should be 0")
+	}
+	f.Observe(1) // init: s = 1
+	f.Observe(0) // s = 0.5
+	if f.Forecast() != 0.5 {
+		t.Fatalf("forecast = %v", f.Forecast())
+	}
+	bad := NewExponentialSmoothing(7)
+	if bad.Alpha != 0.5 {
+		t.Fatalf("alpha fallback = %v", bad.Alpha)
+	}
+}
+
+func TestSignificantChange(t *testing.T) {
+	if SignificantChange(0.5, 0.55, 0.1) {
+		t.Fatal("change within band reported significant")
+	}
+	if !SignificantChange(0.5, 0.65, 0.1) {
+		t.Fatal("upward break not reported")
+	}
+	if !SignificantChange(0.5, 0.35, 0.1) {
+		t.Fatal("downward break not reported")
+	}
+	if SignificantChange(0.5, 0.6, 0.1) {
+		t.Fatal("boundary should be inside the band")
+	}
+}
+
+// Property: prediction is monotone in load, weight, and base time.
+func TestPropertyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := rng.Float64() * 10
+		w := 0.1 + rng.Float64()*3
+		l1 := rng.Float64() * 2
+		l2 := l1 + rng.Float64()
+		p1 := Seconds(Inputs{BaseTime: base, Weight: w, CPULoad: l1})
+		p2 := Seconds(Inputs{BaseTime: base, Weight: w, CPULoad: l2})
+		if p2 < p1 {
+			return false
+		}
+		p3 := Seconds(Inputs{BaseTime: base, Weight: w * 1.5, CPULoad: l1})
+		if p3 < p1 {
+			return false
+		}
+		p4 := Seconds(Inputs{BaseTime: base * 2, Weight: w, CPULoad: l1})
+		return p4 >= p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window mean lies within [min, max] of observed values.
+func TestPropertyWindowMeanBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		w := NewWindow(len(vals))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // avoid float overflow in the sum
+			}
+			w.Observe(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		m := w.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Forecast accuracy on an AR(1)-like series: smoothing should beat or match
+// the naive last-value forecaster on average for noisy series.
+func TestForecastersTrackNoisySeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	last := &LastValue{}
+	smooth := NewExponentialSmoothing(0.3)
+	win := NewWindow(8)
+	var errLast, errSmooth, errWin float64
+	v := 0.5
+	n := 2000
+	for i := 0; i < n; i++ {
+		pl, ps, pw := last.Forecast(), smooth.Forecast(), win.Forecast()
+		// AR(1) around 0.5 with noise.
+		v = 0.8*v + 0.2*0.5 + rng.NormFloat64()*0.2
+		if v < 0 {
+			v = 0
+		}
+		errLast += math.Abs(pl - v)
+		errSmooth += math.Abs(ps - v)
+		errWin += math.Abs(pw - v)
+		last.Observe(v)
+		smooth.Observe(v)
+		win.Observe(v)
+	}
+	// For a highly persistent AR(1) the last value is already near-optimal;
+	// smoothing should stay in its neighbourhood, not beat it.
+	if errSmooth > errLast*1.25 {
+		t.Fatalf("smoothing (%v) much worse than last-value (%v)", errSmooth/float64(n), errLast/float64(n))
+	}
+	if errWin > errLast*1.5 {
+		t.Fatalf("window mean (%v) unreasonably worse than last-value (%v)", errWin/float64(n), errLast/float64(n))
+	}
+}

@@ -1,0 +1,89 @@
+package repository
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AppStore holds stored application flow graphs: "the user may either
+// submit the application for execution in the VDCE or he/she may store the
+// application flow graph for future use" (§2.1). Graphs are stored as their
+// JSON wire form, keyed by (owner, name), so the store does not depend on
+// the afg package.
+type AppStore struct {
+	mu   sync.RWMutex
+	apps map[string]StoredApp
+}
+
+// StoredApp is one saved application.
+type StoredApp struct {
+	Owner   string    `json:"owner"` // user name from the accounts DB
+	Name    string    `json:"name"`
+	AFG     []byte    `json:"afg"` // JSON wire form
+	SavedAt time.Time `json:"savedAt"`
+}
+
+func appKey(owner, name string) string { return owner + "\x00" + name }
+
+// NewAppStore returns an empty store.
+func NewAppStore() *AppStore {
+	return &AppStore{apps: make(map[string]StoredApp)}
+}
+
+// Save stores (or overwrites) an application.
+func (s *AppStore) Save(owner, name string, afgJSON []byte, at time.Time) error {
+	if owner == "" || name == "" {
+		return fmt.Errorf("%w: owner and name required", ErrInvalidRecord)
+	}
+	if len(afgJSON) == 0 {
+		return fmt.Errorf("%w: empty graph", ErrInvalidRecord)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apps[appKey(owner, name)] = StoredApp{
+		Owner: owner, Name: name,
+		AFG:     append([]byte(nil), afgJSON...),
+		SavedAt: at,
+	}
+	return nil
+}
+
+// Load retrieves a stored application.
+func (s *AppStore) Load(owner, name string) (StoredApp, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	app, ok := s.apps[appKey(owner, name)]
+	if !ok {
+		return StoredApp{}, fmt.Errorf("%w: app %s/%s", ErrNotFound, owner, name)
+	}
+	app.AFG = append([]byte(nil), app.AFG...)
+	return app, nil
+}
+
+// Delete removes a stored application.
+func (s *AppStore) Delete(owner, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := appKey(owner, name)
+	if _, ok := s.apps[k]; !ok {
+		return fmt.Errorf("%w: app %s/%s", ErrNotFound, owner, name)
+	}
+	delete(s.apps, k)
+	return nil
+}
+
+// List returns the owner's stored application names, sorted.
+func (s *AppStore) List(owner string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for _, app := range s.apps {
+		if app.Owner == owner {
+			out = append(out, app.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

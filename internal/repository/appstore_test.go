@@ -1,0 +1,83 @@
+package repository
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAppStoreSaveLoadDelete(t *testing.T) {
+	s := NewAppStore()
+	at := time.Unix(100, 0).UTC()
+	if err := s.Save("haluk", "solver", []byte(`{"name":"solver"}`), at); err != nil {
+		t.Fatal(err)
+	}
+	app, err := s.Load("haluk", "solver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(app.AFG) != `{"name":"solver"}` || !app.SavedAt.Equal(at) {
+		t.Fatalf("app = %+v", app)
+	}
+	// Returned bytes do not alias the store.
+	app.AFG[0] = 'X'
+	again, _ := s.Load("haluk", "solver")
+	if again.AFG[0] == 'X' {
+		t.Fatal("store aliased")
+	}
+	if err := s.Delete("haluk", "solver"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load("haluk", "solver"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Delete("haluk", "solver"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppStoreValidation(t *testing.T) {
+	s := NewAppStore()
+	if err := s.Save("", "x", []byte("{}"), time.Now()); !errors.Is(err, ErrInvalidRecord) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Save("u", "", []byte("{}"), time.Now()); !errors.Is(err, ErrInvalidRecord) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.Save("u", "x", nil, time.Now()); !errors.Is(err, ErrInvalidRecord) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppStoreListPerOwner(t *testing.T) {
+	s := NewAppStore()
+	s.Save("a", "z-app", []byte("{}"), time.Now())
+	s.Save("a", "a-app", []byte("{}"), time.Now())
+	s.Save("b", "other", []byte("{}"), time.Now())
+	got := s.List("a")
+	if len(got) != 2 || got[0] != "a-app" || got[1] != "z-app" {
+		t.Fatalf("list = %v", got)
+	}
+	if len(s.List("nobody")) != 0 {
+		t.Fatal("phantom apps")
+	}
+}
+
+func TestAppStoreSurvivesRepositoryRoundTrip(t *testing.T) {
+	r := New()
+	at := time.Unix(42, 0).UTC()
+	r.Apps.Save("u", "stored", []byte(`{"name":"g"}`), at)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := New()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	app, err := back.Apps.Load("u", "stored")
+	if err != nil || string(app.AFG) != `{"name":"g"}` || !app.SavedAt.Equal(at) {
+		t.Fatalf("app = %+v err=%v", app, err)
+	}
+}

@@ -1,0 +1,54 @@
+package repository
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File persistence for the "web-based storage environment": the paper's
+// site repository survives across server restarts. SaveFile writes
+// atomically (temp file + rename) so a crash mid-save never corrupts the
+// repository.
+
+// SaveFile serialises the repository to path.
+func (r *Repository) SaveFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("repository: encode: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".repo-*.json")
+	if err != nil {
+		return fmt.Errorf("repository: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("repository: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("repository: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores a repository saved by SaveFile.
+func LoadFile(path string) (*Repository, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("repository: read: %w", err)
+	}
+	r := New()
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,81 @@
+package repository
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "site.json")
+
+	r := New()
+	r.Users.Add(UserAccount{UserName: "u", Password: "p", Priority: 2})
+	r.Resources.Register(ResourceStatic{HostName: "n1", Site: "syr", SpeedFactor: 3, TotalMemory: 1 << 20})
+	r.Resources.UpdateDynamic("n1", 0.8, 1<<19, time.Unix(55, 0).UTC())
+	r.Tasks.Put(TaskRecord{Function: "matrix.lu", BaseTime: 0.02, Weights: map[string]float64{"n1": 0.33}})
+	r.Constraints.SetLocation("matrix.lu", "n1", "/opt/lu")
+
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.Users.Authenticate("u", "p"); err != nil {
+		t.Fatal("user lost")
+	}
+	rec, err := back.Resources.Get("n1")
+	if err != nil || rec.Dynamic.Load != 0.8 || rec.Static.SpeedFactor != 3 {
+		t.Fatalf("resource lost: %+v err=%v", rec, err)
+	}
+	if w, ok := back.Tasks.Weight("matrix.lu", "n1"); !ok || w != 0.33 {
+		t.Fatal("weight lost")
+	}
+	if p, ok := back.Constraints.Location("matrix.lu", "n1"); !ok || p != "/opt/lu" {
+		t.Fatal("constraint lost")
+	}
+}
+
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "site.json")
+	r := New()
+	r.Resources.Register(ResourceStatic{HostName: "keep"})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite succeeds and leaves no temp droppings.
+	r.Resources.Register(ResourceStatic{HostName: "more"})
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("leftover files: %v", entries)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Resources.List()) != 2 {
+		t.Fatal("second save lost data")
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	os.WriteFile(path, []byte("{nope"), 0o644)
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package scheduler
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/afg"
+	"repro/internal/repository"
+)
+
+// Baseline schedulers for the evaluation benchmarks. Each implements the
+// same contract as the Site Scheduler — an AFG in, an allocation table out —
+// but replaces the prediction-driven placement with a naive policy, which is
+// what the paper's scheduling claims are measured against.
+
+// Scheduler is anything that can map an AFG to resources.
+type Scheduler interface {
+	Schedule(g *afg.Graph) (*AllocationTable, error)
+}
+
+// hostList flattens repositories into (site, host) pairs with static data.
+type hostEntry struct {
+	site string
+	host string
+	rec  repository.ResourceRecord
+}
+
+func collectHosts(sites map[string]*repository.Repository) []hostEntry {
+	var names []string
+	for s := range sites {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	var out []hostEntry
+	for _, s := range names {
+		for _, r := range sites[s].Resources.List() {
+			if r.Dynamic.Down {
+				continue
+			}
+			out = append(out, hostEntry{site: s, host: r.Static.HostName, rec: r})
+		}
+	}
+	return out
+}
+
+// RandomScheduler assigns every task to a uniformly random up host.
+type RandomScheduler struct {
+	Sites map[string]*repository.Repository
+	Seed  int64
+}
+
+// Schedule implements Scheduler.
+func (r *RandomScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	hosts := collectHosts(r.Sites)
+	if len(hosts) == 0 {
+		return nil, ErrNoEligibleHost
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	table := NewAllocationTable(g.Name)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		h := hosts[rng.Intn(len(hosts))]
+		table.Set(Assignment{Task: id, Site: h.site, Host: h.host, Hosts: []string{h.host}})
+	}
+	return table, nil
+}
+
+// RoundRobinScheduler cycles through hosts in name order.
+type RoundRobinScheduler struct {
+	Sites map[string]*repository.Repository
+	next  int
+}
+
+// Schedule implements Scheduler.
+func (r *RoundRobinScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	hosts := collectHosts(r.Sites)
+	if len(hosts) == 0 {
+		return nil, ErrNoEligibleHost
+	}
+	table := NewAllocationTable(g.Name)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		h := hosts[r.next%len(hosts)]
+		r.next++
+		table.Set(Assignment{Task: id, Site: h.site, Host: h.host, Hosts: []string{h.host}})
+	}
+	return table, nil
+}
+
+// MinLoadScheduler greedily places each task on the host with the lowest
+// recorded load, ignoring heterogeneity (speed/weights) and transfers. It
+// tracks its own placements so it does not dog-pile one idle host.
+type MinLoadScheduler struct {
+	Sites map[string]*repository.Repository
+}
+
+// Schedule implements Scheduler.
+func (m *MinLoadScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	hosts := collectHosts(m.Sites)
+	if len(hosts) == 0 {
+		return nil, ErrNoEligibleHost
+	}
+	load := make([]float64, len(hosts))
+	for i, h := range hosts {
+		load[i] = h.rec.Dynamic.Load
+	}
+	table := NewAllocationTable(g.Name)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		best := 0
+		for i := range hosts {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		load[best]++ // a placed task adds one load unit
+		h := hosts[best]
+		table.Set(Assignment{Task: id, Site: h.site, Host: h.host, Hosts: []string{h.host}})
+	}
+	return table, nil
+}
+
+// FastestHostScheduler puts every task on the host with the highest static
+// speed factor — the "prediction-blind" policy that ignores load entirely.
+type FastestHostScheduler struct {
+	Sites map[string]*repository.Repository
+}
+
+// Schedule implements Scheduler.
+func (f *FastestHostScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	hosts := collectHosts(f.Sites)
+	if len(hosts) == 0 {
+		return nil, ErrNoEligibleHost
+	}
+	best := 0
+	for i, h := range hosts {
+		if h.rec.Static.SpeedFactor > hosts[best].rec.Static.SpeedFactor {
+			best = i
+		}
+	}
+	table := NewAllocationTable(g.Name)
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	h := hosts[best]
+	for _, id := range order {
+		table.Set(Assignment{Task: id, Site: h.site, Host: h.host, Hosts: []string{h.host}})
+	}
+	return table, nil
+}
+
+// FIFOPriority is the level-priority ablation: ready tasks in plain id
+// order, ignoring levels. Install it as SiteScheduler.Priority to measure
+// what the paper's level rule buys.
+func FIFOPriority(ids []afg.TaskID, _ map[afg.TaskID]float64) []afg.TaskID {
+	out := append([]afg.TaskID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

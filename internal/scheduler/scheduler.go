@@ -1,0 +1,275 @@
+// Package scheduler implements the VDCE Application Scheduler (paper §2.2):
+// level-priority list scheduling driven by per-(task, resource) performance
+// prediction, with the paper's two built-in algorithms — the Host Selection
+// Algorithm (Fig 5) run at every site, and the Site Scheduler Algorithm
+// (Fig 4) run at the local site — plus the baseline schedulers used by the
+// evaluation benchmarks.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/afg"
+	"repro/internal/predict"
+	"repro/internal/repository"
+)
+
+// Common errors.
+var (
+	ErrNoEligibleHost = errors.New("scheduler: no eligible host for task")
+	ErrNoSites        = errors.New("scheduler: no sites available")
+)
+
+// Assignment maps one task to its execution resources.
+type Assignment struct {
+	Task      afg.TaskID `json:"task"`
+	Site      string     `json:"site"`
+	Host      string     `json:"host"`            // primary host
+	Hosts     []string   `json:"hosts,omitempty"` // all hosts for parallel tasks
+	Predicted float64    `json:"predicted"`       // predicted execution seconds
+}
+
+// AllocationTable is the scheduler's output: the resource allocation table
+// the Site Manager multicasts to the Group Managers involved in execution.
+type AllocationTable struct {
+	App     string                    `json:"app"`
+	Entries map[afg.TaskID]Assignment `json:"entries"`
+	order   []afg.TaskID              // assignment order, for inspection
+}
+
+// NewAllocationTable returns an empty table for the named application.
+func NewAllocationTable(app string) *AllocationTable {
+	return &AllocationTable{App: app, Entries: make(map[afg.TaskID]Assignment)}
+}
+
+// Set records an assignment.
+func (t *AllocationTable) Set(a Assignment) {
+	if _, ok := t.Entries[a.Task]; !ok {
+		t.order = append(t.order, a.Task)
+	}
+	t.Entries[a.Task] = a
+}
+
+// Get returns the assignment for a task.
+func (t *AllocationTable) Get(id afg.TaskID) (Assignment, bool) {
+	a, ok := t.Entries[id]
+	return a, ok
+}
+
+// Order returns task ids in assignment order.
+func (t *AllocationTable) Order() []afg.TaskID {
+	return append([]afg.TaskID(nil), t.order...)
+}
+
+// Sites returns the distinct sites used, sorted.
+func (t *AllocationTable) Sites() []string {
+	seen := map[string]bool{}
+	for _, a := range t.Entries {
+		seen[a.Site] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerSite extracts the "related portion of the resource allocation table"
+// for one site (§2.3.1: the Site Manager multicasts it to Group Managers).
+func (t *AllocationTable) PerSite(site string) []Assignment {
+	var out []Assignment
+	for _, id := range t.order {
+		if a := t.Entries[id]; a.Site == site {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Host Selection Algorithm (paper Fig 5)
+// ---------------------------------------------------------------------------
+
+// Choice is a host-selection result for one task at one site.
+type Choice struct {
+	Site      string   `json:"site"`
+	Host      string   `json:"host"`
+	Hosts     []string `json:"hosts,omitempty"` // parallel-mode machine set
+	Predicted float64  `json:"predicted"`
+}
+
+// HostSelector is a site-local scheduling service: given an AFG it returns,
+// for every task, the best machine within the site and its predicted
+// execution time. The Site Scheduler multicasts the AFG and collects these
+// (local call in-process; RPC across real sites via internal/site).
+type HostSelector interface {
+	SiteName() string
+	SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
+}
+
+// LocalSelector implements the Host Selection Algorithm against a site
+// repository: it retrieves task-specific parameters from the
+// task-performance database, resource-specific parameters from the
+// resource-performance database, and assigns each task the resource
+// minimising Predict(task, R).
+type LocalSelector struct {
+	Site string
+	Repo *repository.Repository
+
+	// Forecast optionally maps a host's last recorded load to the load
+	// value used in predictions (workload forecasting, §2.2.1). nil uses
+	// the recorded value directly.
+	Forecast func(host string, recorded float64) float64
+
+	// Priority orders the task queue for the Fig 5 walk; nil uses the
+	// paper's level rule (ByLevel). Because each assignment bumps its
+	// host's queued load, the walk order decides which tasks get the
+	// fastest machines — FIFOPriority here is the level-rule ablation.
+	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+}
+
+// SiteName implements HostSelector.
+func (s *LocalSelector) SiteName() string { return s.Site }
+
+// SelectHosts implements HostSelector (the paper's Fig 5 loop). The task
+// queue is walked in level-priority order and each assignment adds one load
+// unit to its chosen host(s) for subsequent predictions — Fig 5's "assign
+// task_i to the resource R_j" step updates the selector's own view, so a
+// wide application does not dog-pile the single best machine.
+func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error) {
+	resources := s.Repo.Resources.List()
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	prio := s.Priority
+	if prio == nil {
+		prio = ByLevel
+	}
+	queued := make(map[string]float64)
+	out := make(map[afg.TaskID]Choice, g.Len())
+	for _, id := range prio(g.TaskIDs(), levels) {
+		task := g.Task(id)
+		choice, err := s.selectFor(task, resources, queued)
+		if err != nil {
+			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, err)
+		}
+		for _, h := range choice.Hosts {
+			queued[h]++
+		}
+		out[id] = choice
+	}
+	return out, nil
+}
+
+// selectFor evaluates Predict(task, R) for every eligible resource and
+// returns the minimiser. Parallel tasks select task.Processors machines
+// (the paper's "the host selection algorithm is updated to select the
+// number of machines required within the site").
+func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued map[string]float64) (Choice, error) {
+	type scored struct {
+		host string
+		pred float64
+	}
+	var cands []scored
+	for _, r := range resources {
+		if r.Dynamic.Down {
+			continue
+		}
+		if task.MachineType != "" && r.Static.Arch != task.MachineType {
+			continue
+		}
+		if !s.Repo.Constraints.CanRun(task.Function, r.Static.HostName) {
+			continue
+		}
+		cands = append(cands, scored{r.Static.HostName, s.predictOn(task, r, queued[r.Static.HostName])})
+	}
+	if len(cands) == 0 {
+		return Choice{}, ErrNoEligibleHost
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pred != cands[j].pred {
+			return cands[i].pred < cands[j].pred
+		}
+		return cands[i].host < cands[j].host
+	})
+	n := task.Processors
+	if task.Mode != afg.Parallel {
+		n = 1
+	}
+	if n > len(cands) {
+		n = len(cands)
+	}
+	hosts := make([]string, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = cands[i].host
+	}
+	// Parallel-mode prediction: the slowest selected machine bounds each
+	// share; an ideal row split divides the work n ways.
+	pred := cands[n-1].pred / float64(n)
+	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, nil
+}
+
+// predictOn evaluates the prediction function for one task on one resource;
+// queuedLoad is the load contribution of tasks this selector already placed
+// on the resource during the current SelectHosts walk.
+func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, queuedLoad float64) float64 {
+	base := task.ComputeCost
+	memReq := task.MemReq
+	weight, haveWeight := s.Repo.Tasks.Weight(task.Function, r.Static.HostName)
+	if rec, err := s.Repo.Tasks.Get(task.Function); err == nil {
+		if base <= 0 {
+			base = rec.BaseTime
+		}
+		if memReq <= 0 {
+			memReq = rec.MemReq
+		}
+	}
+	if base <= 0 {
+		base = 1e-6 // unknown task: negligible but positive cost
+	}
+	if !haveWeight {
+		weight = predict.WeightFromSpeed(r.Static.SpeedFactor)
+	}
+	load := r.Dynamic.Load
+	if s.Forecast != nil {
+		load = s.Forecast(r.Static.HostName, load)
+	}
+	load += queuedLoad
+	return predict.Seconds(predict.Inputs{
+		BaseTime: base,
+		Weight:   weight,
+		MemReq:   memReq,
+		MemAvail: r.Dynamic.AvailableMemory,
+		CPULoad:  load,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Priorities
+// ---------------------------------------------------------------------------
+
+// ByLevel sorts ready task ids by descending level (the paper's priority:
+// "the node with a higher level value will have a higher priority"), with
+// id as the deterministic tie-break.
+func ByLevel(ids []afg.TaskID, levels map[afg.TaskID]float64) []afg.TaskID {
+	out := append([]afg.TaskID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := levels[out[i]], levels[out[j]]
+		if li != lj {
+			return li > lj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// maxFloat returns the larger of a and b (avoids importing math for one use
+// elsewhere; math is already imported here for Inf).
+func maxFloat(a, b float64) float64 {
+	return math.Max(a, b)
+}

@@ -1,0 +1,165 @@
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+)
+
+// TimeModel returns the ground-truth execution seconds of a task on a host.
+// The evaluation benchmarks use it to score allocation tables: schedulers
+// see (possibly stale) repository data, the simulator charges actual times.
+type TimeModel func(task *afg.Task, host string) float64
+
+// Simulate replays an allocation table with an event-driven simulator and
+// returns the makespan (schedule length) in modelled seconds.
+//
+// Semantics:
+//   - a task starts when all parents have finished AND their output has
+//     arrived (inter-site transfer time from the network model) AND its
+//     assigned host is free;
+//   - each host executes one task at a time (the paper's hosts are single
+//     workstations; parallel tasks occupy all their hosts);
+//   - transfer between tasks on the same host is free, same site pays the
+//     LAN cost, cross-site pays the WAN cost.
+func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	hostFree := map[string]float64{}   // host -> time it becomes free
+	finish := map[afg.TaskID]float64{} // task -> finish time
+
+	// Process tasks in an earliest-start-first event order: repeatedly pick
+	// the schedulable task (all parents done) with the earliest possible
+	// start. A simple priority queue over candidate starts suffices
+	// because starts only move later, never earlier.
+	type item struct {
+		id    afg.TaskID
+		start float64
+		index int
+	}
+	pending := map[afg.TaskID]bool{}
+	for _, id := range order {
+		pending[id] = true
+	}
+	ready := func(id afg.TaskID) bool {
+		for _, l := range g.Parents(id) {
+			if _, ok := finish[l.From]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	startTime := func(id afg.TaskID) (float64, error) {
+		a, ok := table.Get(id)
+		if !ok {
+			return 0, fmt.Errorf("scheduler: task %q missing from allocation table", id)
+		}
+		var earliest float64
+		for _, l := range g.Parents(id) {
+			p, _ := table.Get(l.From)
+			arrive := finish[l.From]
+			if net != nil && p.Host != a.Host {
+				arrive += net.TransferTime(p.Site, a.Site, transferBytes(g, l)).Seconds()
+			}
+			earliest = maxFloat(earliest, arrive)
+		}
+		hosts := a.Hosts
+		if len(hosts) == 0 {
+			hosts = []string{a.Host}
+		}
+		for _, h := range hosts {
+			earliest = maxFloat(earliest, hostFree[h])
+		}
+		return earliest, nil
+	}
+
+	var makespan float64
+	for len(pending) > 0 {
+		// Collect schedulable tasks.
+		var q pq
+		heap.Init(&q)
+		for _, id := range order {
+			if pending[id] && ready(id) {
+				st, err := startTime(id)
+				if err != nil {
+					return 0, err
+				}
+				heap.Push(&q, pqItem{id: id, start: st})
+			}
+		}
+		if q.Len() == 0 {
+			return 0, fmt.Errorf("scheduler: simulation deadlock with %d tasks pending", len(pending))
+		}
+		it := heap.Pop(&q).(pqItem)
+		a, _ := table.Get(it.id)
+		dur := model(g.Task(it.id), a.Host)
+		if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+			return 0, fmt.Errorf("scheduler: invalid duration %v for task %q", dur, it.id)
+		}
+		// Parallel tasks run across all hosts for duration/#hosts.
+		hosts := a.Hosts
+		if len(hosts) == 0 {
+			hosts = []string{a.Host}
+		}
+		if len(hosts) > 1 {
+			dur /= float64(len(hosts))
+		}
+		end := it.start + dur
+		for _, h := range hosts {
+			hostFree[h] = end
+		}
+		finish[it.id] = end
+		delete(pending, it.id)
+		makespan = maxFloat(makespan, end)
+	}
+	return makespan, nil
+}
+
+// CommVolume sums the modelled inter-host communication time of a table —
+// the quantity the paper's co-location argument minimises ("to decrease the
+// inter-task communication time").
+func CommVolume(g *afg.Graph, table *AllocationTable, net *netsim.Network) float64 {
+	var total float64
+	for _, l := range g.Links() {
+		from, ok1 := table.Get(l.From)
+		to, ok2 := table.Get(l.To)
+		if !ok1 || !ok2 || from.Host == to.Host || net == nil {
+			continue
+		}
+		total += net.TransferTime(from.Site, to.Site, transferBytes(g, l)).Seconds()
+	}
+	return total
+}
+
+// pq is a min-heap of candidate task starts.
+type pqItem struct {
+	id    afg.TaskID
+	start float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].start != q[j].start {
+		return q[i].start < q[j].start
+	}
+	return q[i].id < q[j].id
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,221 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+)
+
+// SiteScheduler implements the Site Scheduler Algorithm (paper Fig 4) at
+// the local site — the site where the execution request arrived.
+//
+// Steps (numbering follows the figure):
+//  1. receive the AFG,
+//  2. select the k nearest neighbour sites,
+//  3. multicast the AFG to them,
+//  4. run the Host Selection Algorithm locally and remotely,
+//  5. collect (machine, predicted time) pairs per task per site,
+//  6. initialise the ready set with entry tasks,
+//  7. walk the ready set in level-priority order, assigning each task to
+//     the site minimising predicted time (entry tasks) or
+//     transfer time from the parents' sites + predicted time (others).
+type SiteScheduler struct {
+	Local   HostSelector
+	Remotes []HostSelector  // all known remote sites (k nearest selected per run)
+	Net     *netsim.Network // supplies transfer_time(Sparent, Sj)
+	K       int             // neighbour fan-out (0 = all remotes)
+
+	// TransferAware toggles the transfer-time term in step 7; disabling
+	// it is the Fig 4 ablation (site choice by prediction only).
+	TransferAware bool
+
+	// Priority orders the ready set each step; nil means the paper's
+	// level rule (ByLevel). FIFOPriority is the ablation alternative.
+	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+}
+
+// NewSiteScheduler builds a transfer-aware scheduler with fan-out k.
+func NewSiteScheduler(local HostSelector, remotes []HostSelector, net *netsim.Network, k int) *SiteScheduler {
+	return &SiteScheduler{Local: local, Remotes: remotes, Net: net, K: k, TransferAware: true}
+}
+
+// Schedule produces a resource allocation table for g.
+func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	if s.Local == nil {
+		return nil, ErrNoSites
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Steps 2–3: pick the k nearest neighbours and "multicast" the AFG.
+	selectors := []HostSelector{s.Local}
+	selectors = append(selectors, s.nearestRemotes()...)
+
+	// Steps 4–5: gather host selections per site. A site that cannot host
+	// some task (constraints) is skipped for that task rather than
+	// failing the whole application.
+	type siteResult struct {
+		name    string
+		choices map[afg.TaskID]Choice
+	}
+	var results []siteResult
+	for _, sel := range selectors {
+		choices, err := sel.SelectHosts(g)
+		if err != nil {
+			// Partial sites still contribute: retry per task below via
+			// the choices they *could* make. For simplicity a failed
+			// site is dropped entirely; the local site failing is fatal
+			// only if no site can host a task (checked later).
+			continue
+		}
+		results = append(results, siteResult{sel.SiteName(), choices})
+	}
+	if len(results) == 0 {
+		return nil, ErrNoSites
+	}
+
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+
+	table := NewAllocationTable(g.Name)
+
+	// Steps 6–7: ready-set walk in level-priority order.
+	prio := s.Priority
+	if prio == nil {
+		prio = ByLevel
+	}
+	tracker := afg.NewTracker(g)
+	for !tracker.AllDone() {
+		ready := prio(tracker.Ready(), levels)
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+		}
+		id := ready[0]
+		task := g.Task(id)
+
+		best := Choice{Predicted: math.Inf(1)}
+		bestTotal := math.Inf(1)
+		found := false
+		for _, sr := range results {
+			choice, ok := sr.choices[id]
+			if !ok {
+				continue
+			}
+			total := choice.Predicted
+			if s.TransferAware && !isEntryLike(g, id) {
+				total += s.transferCost(g, id, sr.name, table)
+			}
+			if total < bestTotal || (total == bestTotal && sr.name < best.Site) {
+				best, bestTotal, found = choice, total, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+		}
+		table.Set(Assignment{
+			Task:      id,
+			Site:      best.Site,
+			Host:      best.Host,
+			Hosts:     best.Hosts,
+			Predicted: best.Predicted,
+		})
+		_ = task
+		tracker.Complete(id)
+	}
+	return table, nil
+}
+
+// nearestRemotes returns the k nearest remote selectors by network latency
+// from the local site (all remotes when no network or K <= 0).
+func (s *SiteScheduler) nearestRemotes() []HostSelector {
+	if len(s.Remotes) == 0 {
+		return nil
+	}
+	k := s.K
+	if k <= 0 || k > len(s.Remotes) {
+		k = len(s.Remotes)
+	}
+	if s.Net == nil {
+		return s.Remotes[:k]
+	}
+	names := s.Net.Nearest(s.Local.SiteName(), len(s.Remotes))
+	byName := make(map[string]HostSelector, len(s.Remotes))
+	for _, r := range s.Remotes {
+		byName[r.SiteName()] = r
+	}
+	var out []HostSelector
+	for _, n := range names {
+		if sel, ok := byName[n]; ok {
+			out = append(out, sel)
+			if len(out) == k {
+				return out
+			}
+		}
+	}
+	// Remotes absent from the network map come last.
+	for _, r := range s.Remotes {
+		if len(out) == k {
+			break
+		}
+		known := false
+		for _, o := range out {
+			if o == r {
+				known = true
+				break
+			}
+		}
+		if !known {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// isEntryLike reports whether the task "is an entry task or does not
+// require any input file from its parent node tasks" (Fig 4, step 7).
+func isEntryLike(g *afg.Graph, id afg.TaskID) bool {
+	for _, l := range g.Parents(id) {
+		if transferBytes(g, l) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// transferBytes returns the data volume of one link: the link's explicit
+// size, or the parent's declared output volume ("the input size of the
+// application can be used for the transfer size parameter").
+func transferBytes(g *afg.Graph, l afg.Link) int64 {
+	if l.Bytes > 0 {
+		return l.Bytes
+	}
+	if p := g.Task(l.From); p != nil {
+		return p.OutputBytes
+	}
+	return 0
+}
+
+// transferCost sums transfer_time(Sparent, Sj) over the task's already
+// scheduled parents. (The paper's formula names a single parent site; with
+// several parents each contributes its own transfer, so we sum — a
+// co-located parent contributes its cheap LAN term.)
+func (s *SiteScheduler) transferCost(g *afg.Graph, id afg.TaskID, site string, table *AllocationTable) float64 {
+	if s.Net == nil {
+		return 0
+	}
+	var total float64
+	for _, l := range g.Parents(id) {
+		parent, ok := table.Get(l.From)
+		if !ok {
+			continue // parent unscheduled (possible only for cross runs)
+		}
+		bytes := transferBytes(g, l)
+		total += s.Net.TransferTime(parent.Site, site, bytes).Seconds()
+	}
+	return total
+}

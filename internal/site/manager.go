@@ -1,0 +1,339 @@
+// Package site implements the VDCE Site Manager: "the server software ...
+// which handles the inter-site communications and bridges the VDCE modules
+// to the web-based repository" (paper §2). One Manager runs per VDCE site;
+// it owns the site repository, the host pool with its Group Managers
+// (Resource Controller, Fig 6), the site-local Host Selection service, and
+// the RPC endpoint remote sites use during distributed scheduling.
+package site
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/afg"
+	"repro/internal/datamgr"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/predict"
+	"repro/internal/repository"
+	"repro/internal/resource"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/tasklib"
+)
+
+// Config tunes a site manager.
+type Config struct {
+	// GroupSize is the number of hosts per Group Manager (0 = 8).
+	GroupSize int
+	// Monitor is the Group Manager configuration.
+	Monitor monitor.Config
+	// LoadThreshold is the runtime QoS bound passed to executions.
+	LoadThreshold float64
+	// UseSockets makes executions ship data through real TCP proxies.
+	UseSockets bool
+}
+
+// Manager is one VDCE site.
+type Manager struct {
+	Site     string
+	Repo     *repository.Repository
+	Pool     *resource.Pool
+	Groups   []*monitor.GroupManager
+	Selector *scheduler.LocalSelector
+	Net      *netsim.Network
+	Registry *tasklib.Registry
+	Gate     *datamgr.Gate
+
+	cfg Config
+}
+
+// NewManager builds a site around an existing host pool: every host is
+// registered in the resource-performance database, hosts are partitioned
+// into groups with a Group Manager each, and the task-performance database
+// is seeded from the task registry ("measured time on the base processor").
+func NewManager(siteName string, pool *resource.Pool, nw *netsim.Network, reg *tasklib.Registry, cfg Config) (*Manager, error) {
+	if reg == nil {
+		reg = tasklib.Default()
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = 8
+	}
+	m := &Manager{
+		Site:     siteName,
+		Repo:     repository.New(),
+		Pool:     pool,
+		Net:      nw,
+		Registry: reg,
+		Gate:     datamgr.NewGate(),
+		cfg:      cfg,
+	}
+	for _, h := range pool.Hosts() {
+		err := m.Repo.Resources.Register(repository.ResourceStatic{
+			HostName:    h.Spec.Name,
+			IPAddr:      h.Spec.IPAddr,
+			Site:        siteName,
+			Arch:        string(h.Spec.Arch),
+			OSType:      h.Spec.OSType,
+			TotalMemory: h.Spec.TotalMemory,
+			SpeedFactor: h.Spec.SpeedFactor,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Partition hosts into monitor groups.
+	hosts := pool.Hosts()
+	for i := 0; i < len(hosts); i += cfg.GroupSize {
+		end := i + cfg.GroupSize
+		if end > len(hosts) {
+			end = len(hosts)
+		}
+		gm := monitor.NewGroupManager(
+			fmt.Sprintf("%s-group%d", siteName, i/cfg.GroupSize),
+			siteName, hosts[i:end], m, cfg.Monitor, nw)
+		m.Groups = append(m.Groups, gm)
+	}
+	m.Selector = &scheduler.LocalSelector{Site: siteName, Repo: m.Repo}
+	m.seedTaskDatabase()
+	return m, nil
+}
+
+// seedTaskDatabase installs every registry task's cost metadata into the
+// task-performance database.
+func (m *Manager) seedTaskDatabase() {
+	for _, name := range m.Registry.Names() {
+		spec, err := m.Registry.Get(name)
+		if err != nil {
+			continue
+		}
+		m.Repo.Tasks.Put(repository.TaskRecord{
+			Function:  spec.Name,
+			BaseTime:  spec.BaseTime,
+			MemReq:    spec.MemReq,
+			CommBytes: spec.OutputBytes,
+		})
+	}
+}
+
+// monitor.Sink implementation ------------------------------------------------
+
+// UpdateWorkload stores a significantly changed measurement in the
+// resource-performance database ("the Site Manager stores/updates the
+// relevant VDCE database with the received values").
+func (m *Manager) UpdateWorkload(ms monitor.Measurement) {
+	m.Repo.Resources.UpdateDynamic(ms.Host, ms.Load, ms.AvailMem, ms.At)
+}
+
+// HostDown marks the host "down" in the repository so no further tasks are
+// mapped onto it.
+func (m *Manager) HostDown(host string, at time.Time) {
+	m.Repo.Resources.SetDown(host, true)
+}
+
+// HostUp clears the down mark after recovery.
+func (m *Manager) HostUp(host string, at time.Time) {
+	m.Repo.Resources.SetDown(host, false)
+}
+
+var _ monitor.Sink = (*Manager)(nil)
+
+// -----------------------------------------------------------------------------
+
+// TickMonitors runs one synchronous monitoring round over all groups.
+func (m *Manager) TickMonitors() {
+	for _, g := range m.Groups {
+		g.Tick()
+	}
+}
+
+// StartMonitors runs all group managers until ctx is cancelled.
+func (m *Manager) StartMonitors(ctx context.Context, period time.Duration) {
+	for _, g := range m.Groups {
+		go g.Run(ctx, period)
+	}
+}
+
+// Authenticate validates a user against the user-accounts database; the
+// Application Editor calls this before loading (§2.1).
+func (m *Manager) Authenticate(user, password string) (repository.UserAccount, error) {
+	return m.Repo.Users.Authenticate(user, password)
+}
+
+// Host resolves a host by name for the runtime.
+func (m *Manager) Host(name string) *resource.Host { return m.Pool.Get(name) }
+
+// Rescheduler returns the site's task-rescheduling service: it re-runs host
+// selection for the single task, excluding the hosts already tried (the
+// Application Controller → Group Manager rescheduling request, §2.3.1).
+func (m *Manager) Rescheduler() runtime.Rescheduler {
+	return func(ctx context.Context, id afg.TaskID, exclude []string) (scheduler.Assignment, error) {
+		bad := make(map[string]bool, len(exclude))
+		for _, h := range exclude {
+			bad[h] = true
+			// A host excluded because it is actually down gets marked in
+			// the repository immediately ("the machine is marked as
+			// 'down' and the Site Manager is informed in order to
+			// prevent further task mappings", §2.3.1) rather than
+			// waiting for the next monitor round.
+			if ph := m.Pool.Get(h); ph != nil && ph.IsDown() {
+				m.Repo.Resources.SetDown(h, true)
+			}
+		}
+		var best scheduler.Assignment
+		found := false
+		for _, rec := range m.Repo.Resources.List() {
+			if rec.Dynamic.Down || bad[rec.Static.HostName] {
+				continue
+			}
+			pred := predict.Seconds(predict.Inputs{
+				BaseTime: 1,
+				Weight:   predict.WeightFromSpeed(rec.Static.SpeedFactor),
+				CPULoad:  rec.Dynamic.Load,
+			})
+			if !found || pred < best.Predicted {
+				best = scheduler.Assignment{
+					Task: id, Site: m.Site, Host: rec.Static.HostName, Predicted: pred,
+				}
+				found = true
+			}
+		}
+		if !found {
+			return scheduler.Assignment{}, scheduler.ErrNoEligibleHost
+		}
+		return best, nil
+	}
+}
+
+// ExecuteLocal schedules (against this site only, plus the given remote
+// selectors) and executes an application whose tasks all resolve to hosts
+// this manager can reach through resolve. It also records measured
+// execution times back into the task-performance database ("After an
+// application execution is completed, the newly measured execution time of
+// each application task is stored").
+func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []scheduler.HostSelector, resolve func(string) *resource.Host) (*runtime.Result, *scheduler.AllocationTable, error) {
+	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
+	table, err := sched.Schedule(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resolve == nil {
+		resolve = m.Host
+	}
+	res, err := runtime.Execute(ctx, g, table, runtime.Options{
+		Registry:      m.Registry,
+		Hosts:         resolve,
+		Net:           m.Net,
+		Gate:          m.Gate,
+		UseSockets:    m.cfg.UseSockets,
+		LoadThreshold: m.cfg.LoadThreshold,
+		Reschedule:    m.Rescheduler(),
+		MaxAttempts:   m.Pool.Len() + 1, // worst case: every other host fails first
+	})
+	if err != nil {
+		return res, table, err
+	}
+	for id, tr := range res.TaskResults {
+		task := g.Task(id)
+		if task == nil || tr.Err != nil {
+			continue
+		}
+		m.Repo.Tasks.RecordExecution(task.Function, repository.ExecutionSample{
+			Host: tr.Host, Elapsed: tr.Elapsed, At: time.Now(),
+		})
+	}
+	return res, table, nil
+}
+
+// ExecuteDistributed schedules an application across this site and the
+// given RPC peers, then executes it: tasks assigned locally run on this
+// site's hosts, tasks assigned to a peer are forwarded to that peer's
+// RunTask endpoint — the full multi-process execution path of Fig 6/7.
+func (m *Manager) ExecuteDistributed(ctx context.Context, g *afg.Graph, peers []*RemoteSelector) (*runtime.Result, *scheduler.AllocationTable, error) {
+	var remotes []scheduler.HostSelector
+	byName := make(map[string]*RemoteSelector, len(peers))
+	for _, p := range peers {
+		remotes = append(remotes, p)
+		byName[p.Name] = p
+	}
+	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
+	table, err := sched.Schedule(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := runtime.Execute(ctx, g, table, runtime.Options{
+		Registry:      m.Registry,
+		Hosts:         m.Host, // local hosts only; remote hosts go via RemoteExec
+		Net:           m.Net,
+		Gate:          m.Gate,
+		UseSockets:    m.cfg.UseSockets,
+		LoadThreshold: m.cfg.LoadThreshold,
+		Reschedule:    m.Rescheduler(),
+		MaxAttempts:   m.Pool.Len() + 1,
+		RemoteExec: func(ctx context.Context, assign scheduler.Assignment, task *afg.Task, inputs []tasklib.Value) (tasklib.Value, error) {
+			peer, ok := byName[assign.Site]
+			if !ok {
+				return tasklib.Value{}, fmt.Errorf("site: no peer for site %q", assign.Site)
+			}
+			if m.Net != nil {
+				var bytes int64
+				for _, v := range inputs {
+					bytes += v.SizeBytes()
+				}
+				m.Net.InjectDelay(m.Site, assign.Site, bytes)
+			}
+			return peer.RunTask(assign.Host, task, inputs)
+		},
+	})
+	if err != nil {
+		return res, table, err
+	}
+	for id, tr := range res.TaskResults {
+		task := g.Task(id)
+		if task == nil || tr.Err != nil {
+			continue
+		}
+		m.Repo.Tasks.RecordExecution(task.Function, repository.ExecutionSample{
+			Host: tr.Host, Elapsed: tr.Elapsed, At: time.Now(),
+		})
+	}
+	return res, table, nil
+}
+
+// RunTrialWeights performs the paper's "trial runs ... to obtain the
+// computing power weights of processors for each task": it derives a weight
+// for every (function, host) pair from the host's speed factor plus a
+// deterministic per-(arch, library) affinity, and stores it in the
+// task-performance database. The affinity models the observation that "the
+// performance of the processors changes from one application to another".
+func (m *Manager) RunTrialWeights() {
+	for _, name := range m.Registry.Names() {
+		spec, err := m.Registry.Get(name)
+		if err != nil {
+			continue
+		}
+		for _, h := range m.Pool.Hosts() {
+			w := predict.WeightFromSpeed(h.Spec.SpeedFactor) * archAffinity(string(h.Spec.Arch), spec.Library)
+			m.Repo.Tasks.SetWeight(name, h.Spec.Name, w)
+		}
+	}
+}
+
+// archAffinity is the deterministic task-architecture interaction used by
+// trial runs: e.g. SGI boxes shine on matrix code, Alphas on FFTs.
+func archAffinity(arch, library string) float64 {
+	type key struct{ a, l string }
+	table := map[key]float64{
+		{"sgi", "matrix"}:      0.8,
+		{"sgi", "fourier"}:     1.1,
+		{"alpha", "fourier"}:   0.75,
+		{"alpha", "matrix"}:    1.05,
+		{"solaris", "c3i"}:     0.9,
+		{"linux", "synthetic"}: 0.85,
+	}
+	if f, ok := table[key{arch, library}]; ok {
+		return f
+	}
+	return 1
+}

@@ -1,0 +1,325 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/afg"
+	"repro/internal/repository"
+	"repro/internal/scheduler"
+	"repro/internal/tasklib"
+)
+
+// Inter-site coordination (paper §2.3.1 "Inter-site Coordination"): the
+// local site's Application Scheduler multicasts the application flow graph
+// to remote sites, whose Site Managers run the Host Selection Algorithm and
+// return the (machine, predicted time) pairs. We carry that exchange over
+// net/rpc — the moral equivalent of the paper's Java-servlet site server.
+
+// Service is the RPC surface a Site Manager exposes to peers and clients.
+type Service struct {
+	m     *Manager
+	peers []*RemoteSelector // other sites, for distributed Submit
+}
+
+// SelectArgs carries a JSON-encoded application flow graph (JSON because the
+// AFG wire format is the editor/site contract).
+type SelectArgs struct {
+	AFG []byte
+}
+
+// SelectReply returns the host selection for every task.
+type SelectReply struct {
+	Site    string
+	Choices map[afg.TaskID]scheduler.Choice
+}
+
+// SelectHosts runs the site's Host Selection Algorithm on the multicast AFG.
+func (s *Service) SelectHosts(args SelectArgs, reply *SelectReply) error {
+	g, err := afg.Decode(args.AFG)
+	if err != nil {
+		return err
+	}
+	choices, err := s.m.Selector.SelectHosts(g)
+	if err != nil {
+		return err
+	}
+	reply.Site = s.m.Site
+	reply.Choices = choices
+	return nil
+}
+
+// AuthArgs is a user/password pair.
+type AuthArgs struct{ User, Password string }
+
+// AuthReply returns the authenticated account.
+type AuthReply struct{ Account repository.UserAccount }
+
+// Authenticate validates a user against the site's user-accounts database.
+func (s *Service) Authenticate(args AuthArgs, reply *AuthReply) error {
+	acct, err := s.m.Authenticate(args.User, args.Password)
+	if err != nil {
+		return err
+	}
+	reply.Account = acct
+	return nil
+}
+
+// ResourcesArgs is empty; ResourcesReply lists the site's resource records.
+type ResourcesArgs struct{}
+
+// ResourcesReply carries the resource-performance database contents.
+type ResourcesReply struct{ Records []repository.ResourceRecord }
+
+// Resources dumps the site's resource-performance database (workload
+// visualization feeds from this).
+func (s *Service) Resources(_ ResourcesArgs, reply *ResourcesReply) error {
+	reply.Records = s.m.Repo.Resources.List()
+	return nil
+}
+
+// RunTaskArgs carries one task invocation for cross-site execution: the
+// local site's Application Controller forwards a task assigned to a remote
+// host to that host's Site Manager.
+type RunTaskArgs struct {
+	Function   string
+	Params     map[string]string
+	Processors int
+	Host       string
+	MemReq     int64
+	Inputs     [][]byte // encoded tasklib.Values in parent order
+}
+
+// RunTaskReply returns the encoded output value.
+type RunTaskReply struct {
+	Output []byte
+}
+
+// RunTask executes one library task on a named local host (the remote half
+// of the cross-site execution path).
+func (s *Service) RunTask(args RunTaskArgs, reply *RunTaskReply) error {
+	h := s.m.Pool.Get(args.Host)
+	if h == nil {
+		return fmt.Errorf("site %s: unknown host %q", s.m.Site, args.Host)
+	}
+	if err := h.BeginTask(args.MemReq); err != nil {
+		return err
+	}
+	defer h.EndTask(args.MemReq)
+	inputs := make([]tasklib.Value, len(args.Inputs))
+	for i, raw := range args.Inputs {
+		v, err := tasklib.DecodeValue(raw)
+		if err != nil {
+			return err
+		}
+		inputs[i] = v
+	}
+	out, err := s.m.Registry.Execute(contextBackground(), args.Function, tasklib.Args{
+		Params: args.Params, Inputs: inputs, Processors: args.Processors,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := out.Encode()
+	if err != nil {
+		return err
+	}
+	reply.Output = data
+	return nil
+}
+
+// SubmitArgs carries an application for scheduling + local execution.
+type SubmitArgs struct {
+	AFG []byte
+}
+
+// SubmitReply summarises the execution.
+type SubmitReply struct {
+	Table       map[afg.TaskID]scheduler.Assignment
+	MakespanSec float64
+	Rescheduled int
+	Outputs     map[afg.TaskID]string // rendered exit outputs
+}
+
+// Submit schedules an application across this site and its configured
+// peers, executing local tasks directly and remote tasks through the
+// owning site's RunTask endpoint (cmd/vdce-submit's entry point).
+func (s *Service) Submit(args SubmitArgs, reply *SubmitReply) error {
+	g, err := afg.Decode(args.AFG)
+	if err != nil {
+		return err
+	}
+	res, table, err := s.m.ExecuteDistributed(contextBackground(), g, s.peers)
+	if err != nil {
+		return err
+	}
+	reply.Table = table.Entries
+	reply.MakespanSec = res.Makespan.Seconds()
+	reply.Rescheduled = res.Rescheduled
+	reply.Outputs = map[afg.TaskID]string{}
+	for id, v := range res.Outputs {
+		if len(s.m.Repo.Resources.List()) >= 0 { // keep output compact: exits only
+			for _, ex := range g.Exits() {
+				if ex == id {
+					reply.Outputs[id] = renderValue(v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Serve starts the site's RPC endpoint on addr ("127.0.0.1:0" for an
+// ephemeral port). It returns the bound address and a shutdown function.
+func (m *Manager) Serve(addr string) (string, func(), error) {
+	return m.ServeWithPeers(addr, nil)
+}
+
+// ServeWithPeers starts the RPC endpoint with a set of peer sites used for
+// distributed scheduling/execution of submitted applications.
+func (m *Manager) ServeWithPeers(addr string, peers []*RemoteSelector) (string, func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Site", &Service{m: m, peers: peers}); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("site: listen %s: %w", addr, err)
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+	stop := func() {
+		close(done)
+		ln.Close()
+	}
+	_ = done
+	return ln.Addr().String(), stop, nil
+}
+
+// RemoteSelector makes a remote site's Host Selection service usable as a
+// scheduler.HostSelector: the multicast step of the Site Scheduler
+// Algorithm becomes an RPC to each neighbour.
+type RemoteSelector struct {
+	Name string // remote site name
+	Addr string // RPC endpoint
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+// NewRemoteSelector returns a lazy-dialling remote selector.
+func NewRemoteSelector(name, addr string) *RemoteSelector {
+	return &RemoteSelector{Name: name, Addr: addr}
+}
+
+// SiteName implements scheduler.HostSelector.
+func (r *RemoteSelector) SiteName() string { return r.Name }
+
+// SelectHosts implements scheduler.HostSelector over RPC.
+func (r *RemoteSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]scheduler.Choice, error) {
+	data, err := g.Encode()
+	if err != nil {
+		return nil, err
+	}
+	client, err := r.conn()
+	if err != nil {
+		return nil, err
+	}
+	var reply SelectReply
+	if err := client.Call("Site.SelectHosts", SelectArgs{AFG: data}, &reply); err != nil {
+		r.dropConn(client)
+		return nil, fmt.Errorf("site: remote %s: %w", r.Name, err)
+	}
+	return reply.Choices, nil
+}
+
+// RunTask executes one task on a remote site's host over RPC (the client
+// half of the cross-site execution path).
+func (r *RemoteSelector) RunTask(host string, task *afg.Task, inputs []tasklib.Value) (tasklib.Value, error) {
+	encoded := make([][]byte, len(inputs))
+	for i, v := range inputs {
+		data, err := v.Encode()
+		if err != nil {
+			return tasklib.Value{}, err
+		}
+		encoded[i] = data
+	}
+	procs := 1
+	if task.Mode == afg.Parallel {
+		procs = task.Processors
+	}
+	client, err := r.conn()
+	if err != nil {
+		return tasklib.Value{}, err
+	}
+	var reply RunTaskReply
+	err = client.Call("Site.RunTask", RunTaskArgs{
+		Function:   task.Function,
+		Params:     task.Params,
+		Processors: procs,
+		Host:       host,
+		MemReq:     task.MemReq,
+		Inputs:     encoded,
+	}, &reply)
+	if err != nil {
+		r.dropConn(client)
+		return tasklib.Value{}, fmt.Errorf("site: remote run on %s/%s: %w", r.Name, host, err)
+	}
+	return tasklib.DecodeValue(reply.Output)
+}
+
+func (r *RemoteSelector) conn() (*rpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		return r.client, nil
+	}
+	c, err := rpc.Dial("tcp", r.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("site: dial %s (%s): %w", r.Name, r.Addr, err)
+	}
+	r.client = c
+	return c, nil
+}
+
+func (r *RemoteSelector) dropConn(c *rpc.Client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == c {
+		r.client.Close()
+		r.client = nil
+	}
+}
+
+// Close shuts the cached connection.
+func (r *RemoteSelector) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		r.client.Close()
+		r.client = nil
+	}
+}
+
+var _ scheduler.HostSelector = (*RemoteSelector)(nil)
+
+// ErrBadValue reports an unrenderable output value.
+var ErrBadValue = errors.New("site: unrenderable value")

@@ -1,0 +1,105 @@
+package tasklib
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Kind discriminates the payload carried by a Value.
+type Kind string
+
+// Value kinds.
+const (
+	KindNone   Kind = ""
+	KindMatrix Kind = "matrix"
+	KindVector Kind = "vector"
+	KindScalar Kind = "scalar"
+	KindText   Kind = "text"
+	KindLU     Kind = "lu" // packed LU factor + pivot vector
+)
+
+// Value is the single data type that flows over AFG links. It is a tagged
+// union of the payloads the built-in libraries exchange, and it is
+// gob-serialisable so the Data Manager can ship it through sockets between
+// machines (the paper's "socket-based, message-passing mechanism", §2.3.2).
+type Value struct {
+	Kind   Kind
+	Matrix *matrix.Matrix
+	Vector []float64
+	Scalar float64
+	Text   string
+	Pivot  []int // used by KindLU
+}
+
+// MatrixValue wraps a matrix payload.
+func MatrixValue(m *matrix.Matrix) Value { return Value{Kind: KindMatrix, Matrix: m} }
+
+// VectorValue wraps a vector payload.
+func VectorValue(v []float64) Value { return Value{Kind: KindVector, Vector: v} }
+
+// ScalarValue wraps a scalar payload.
+func ScalarValue(s float64) Value { return Value{Kind: KindScalar, Scalar: s} }
+
+// TextValue wraps a text payload.
+func TextValue(t string) Value { return Value{Kind: KindText, Text: t} }
+
+// AsMatrix extracts a matrix payload or fails with ErrBadInput.
+func (v Value) AsMatrix() (*matrix.Matrix, error) {
+	if v.Kind != KindMatrix && v.Kind != KindLU {
+		return nil, fmt.Errorf("%w: want matrix, got %q", ErrBadInput, v.Kind)
+	}
+	if v.Matrix == nil {
+		return nil, fmt.Errorf("%w: nil matrix payload", ErrBadInput)
+	}
+	return v.Matrix, nil
+}
+
+// AsVector extracts a vector payload.
+func (v Value) AsVector() ([]float64, error) {
+	if v.Kind != KindVector {
+		return nil, fmt.Errorf("%w: want vector, got %q", ErrBadInput, v.Kind)
+	}
+	return v.Vector, nil
+}
+
+// AsScalar extracts a scalar payload.
+func (v Value) AsScalar() (float64, error) {
+	if v.Kind != KindScalar {
+		return 0, fmt.Errorf("%w: want scalar, got %q", ErrBadInput, v.Kind)
+	}
+	return v.Scalar, nil
+}
+
+// SizeBytes estimates the wire size of the payload; the Data Manager uses
+// it for transfer accounting and the netsim delay injection.
+func (v Value) SizeBytes() int64 {
+	var n int64 = 16 // tag + framing overhead estimate
+	if v.Matrix != nil {
+		n += int64(len(v.Matrix.Data))*8 + 16
+	}
+	n += int64(len(v.Vector)) * 8
+	n += int64(len(v.Text))
+	n += int64(len(v.Pivot)) * 8
+	return n
+}
+
+// Encode serialises the value with gob.
+func (v Value) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("tasklib: encode value: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue deserialises a value produced by Encode.
+func DecodeValue(data []byte) (Value, error) {
+	var v Value
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return Value{}, fmt.Errorf("tasklib: decode value: %w", err)
+	}
+	return v, nil
+}

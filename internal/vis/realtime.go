@@ -1,0 +1,59 @@
+package vis
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Collector is the real-time visualization feed (§2.3.2: "real-time or
+// post-mortem visualizations"): plug its Observe method into
+// runtime.Options.OnTaskDone and render progress while the application is
+// still running.
+type Collector struct {
+	mu      sync.Mutex
+	total   int
+	done    []runtime.TaskResult
+	started time.Time
+}
+
+// NewCollector creates a feed for an application with total tasks.
+func NewCollector(total int) *Collector {
+	return &Collector{total: total, started: time.Now()}
+}
+
+// Observe records one task completion (safe for concurrent use; pass it as
+// runtime.Options.OnTaskDone).
+func (c *Collector) Observe(tr runtime.TaskResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done = append(c.done, tr)
+}
+
+// Progress returns completed count, total, and elapsed wall time.
+func (c *Collector) Progress() (done, total int, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done), c.total, time.Since(c.started)
+}
+
+// Render draws the live progress view.
+func (c *Collector) Render() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	frac := 0.0
+	if c.total > 0 {
+		frac = float64(len(c.done)) / float64(c.total)
+	}
+	fmt.Fprintf(&b, "progress %d/%d |%s| %v\n",
+		len(c.done), c.total, bar(frac), time.Since(c.started).Round(time.Millisecond))
+	for _, tr := range c.done {
+		fmt.Fprintf(&b, "  done %-12s on %-14s in %v\n",
+			tr.Task, tr.Host, tr.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}

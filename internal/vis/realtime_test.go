@@ -1,0 +1,76 @@
+package vis
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resource"
+	"repro/internal/runtime"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+func TestCollectorStandalone(t *testing.T) {
+	c := NewCollector(3)
+	done, total, _ := c.Progress()
+	if done != 0 || total != 3 {
+		t.Fatalf("progress = %d/%d", done, total)
+	}
+	c.Observe(runtime.TaskResult{Task: "a", Host: "h1", Elapsed: time.Millisecond})
+	c.Observe(runtime.TaskResult{Task: "b", Host: "h2", Elapsed: 2 * time.Millisecond})
+	out := c.Render()
+	if !strings.Contains(out, "progress 2/3") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "done a") || !strings.Contains(out, "h2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				c.Observe(runtime.TaskResult{Task: "t"})
+				c.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if done, _, _ := c.Progress(); done != 100 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+// TestCollectorAsRuntimeFeed wires the collector into a real execution.
+func TestCollectorAsRuntimeFeed(t *testing.T) {
+	g, err := workload.LinearSolver(nil, 16, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := resource.NewHost(resource.HostSpec{Name: "h", TotalMemory: 1 << 30},
+		resource.LoadModel{}, 1)
+	table := scheduler.NewAllocationTable(g.Name)
+	for _, id := range g.TaskIDs() {
+		table.Set(scheduler.Assignment{Task: id, Site: "s", Host: "h"})
+	}
+	c := NewCollector(g.Len())
+	_, err = runtime.Execute(context.Background(), g, table, runtime.Options{
+		Hosts:      func(string) *resource.Host { return host },
+		OnTaskDone: c.Observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, total, _ := c.Progress()
+	if done != total || done != g.Len() {
+		t.Fatalf("collector saw %d/%d", done, total)
+	}
+}
