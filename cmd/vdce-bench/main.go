@@ -29,14 +29,15 @@ var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
 	"FIG7":      experiments.Fig7ExecSetup,
 	"TAB-PRED":  experiments.PredictionAccuracy,
 	"TAB-SCHED": experiments.ScheduleQuality,
+	"SCALE":     experiments.ScaleScheduling,
 }
 
 var experimentOrder = []string{
-	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED",
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()

@@ -39,13 +39,15 @@ func main() {
 	sockets := flag.Bool("sockets", false, "ship inter-task data through TCP proxies")
 	threshold := flag.Float64("load-threshold", 0, "QoS load threshold (0 = disabled)")
 	repoPath := flag.String("repo", "", "site repository file: loaded at startup if present, saved on shutdown")
+	schedWorkers := flag.Int("sched-workers", 0, "scheduling concurrency: site fan-out and batch workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	pool := resource.GenerateSite(*siteName, *hosts, *spread, *seed)
 	net := netsim.NYNET(0.001)
 	m, err := site.NewManager(*siteName, pool, net, nil, site.Config{
-		UseSockets:    *sockets,
-		LoadThreshold: *threshold,
+		UseSockets:           *sockets,
+		LoadThreshold:        *threshold,
+		SchedulerConcurrency: *schedWorkers,
 	})
 	if err != nil {
 		log.Fatalf("vdce-server: %v", err)

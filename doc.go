@@ -7,8 +7,7 @@
 // repositories, resource monitoring, a WAN model) and an evaluation harness
 // reproducing every figure in the paper.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for measured
-// results against the paper's claims. The root-level bench_test.go wraps
-// each experiment in a testing.B benchmark.
+// See README.md for the architecture overview, the per-experiment index,
+// and how to run the benchmarks. The root-level bench_test.go wraps each
+// experiment in a testing.B benchmark.
 package repro

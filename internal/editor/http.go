@@ -41,7 +41,7 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
@@ -206,7 +206,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Users == nil {
-		writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "note": "authentication disabled"})
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "note": "authentication disabled"})
 		return
 	}
 	acct, err := s.Users.Authenticate(creds.User, creds.Password)
@@ -214,7 +214,7 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "authentication failed"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"ok": true, "userID": acct.UserID, "priority": acct.Priority, "accessDomain": acct.AccessDomain,
 	})
 }

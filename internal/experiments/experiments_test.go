@@ -187,7 +187,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 9 {
+	if len(results) != 10 {
 		t.Fatalf("results = %d", len(results))
 	}
 	seen := map[string]bool{}

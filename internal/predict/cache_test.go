@@ -1,0 +1,115 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache()
+	k := CacheKey{Kind: "matrix.lu", Cost: 2, MemReq: 1 << 20, Resource: "h1"}
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	in := Inputs{BaseTime: 2, Weight: 0.5, CPULoad: 0.3}
+	c.Store(k, in, c.Generations()["h1"])
+	got, ok := c.Lookup(k)
+	if !ok || got != in {
+		t.Fatalf("lookup = %+v, %v; want %+v, true", got, ok, in)
+	}
+	// A different size is a different key.
+	k2 := k
+	k2.Cost = 3
+	if _, ok := c.Lookup(k2); ok {
+		t.Fatal("different cost hit the same entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheInvalidateResource(t *testing.T) {
+	c := NewCache()
+	k1 := CacheKey{Kind: "f", Resource: "h1"}
+	k2 := CacheKey{Kind: "f", Resource: "h2"}
+	gens := c.Generations()
+	c.Store(k1, Inputs{BaseTime: 1}, gens[k1.Resource])
+	c.Store(k2, Inputs{BaseTime: 2}, gens[k2.Resource])
+	c.Invalidate("h1")
+	if _, ok := c.Lookup(k1); ok {
+		t.Fatal("h1 entry survived invalidation")
+	}
+	if _, ok := c.Lookup(k2); !ok {
+		t.Fatal("h2 entry was evicted by h1's invalidation")
+	}
+	// Invalidation frees the entries, it does not just hide them.
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after invalidation, want 1", st.Entries)
+	}
+	// Re-store under the new generation works.
+	c.Store(k1, Inputs{BaseTime: 3}, c.Generations()["h1"])
+	if in, ok := c.Lookup(k1); !ok || in.BaseTime != 3 {
+		t.Fatalf("re-store after invalidation: %+v, %v", in, ok)
+	}
+}
+
+func TestCacheStaleStoreDiscarded(t *testing.T) {
+	c := NewCache()
+	k := CacheKey{Kind: "f", Resource: "h1"}
+	gens := c.Generations() // snapshot before "reading the repository"
+	c.Invalidate("h1")      // monitor update lands in between
+	c.Store(k, Inputs{BaseTime: 1}, gens[k.Resource])
+	if _, ok := c.Lookup(k); ok {
+		t.Fatal("stale store became visible")
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 4; i++ {
+		k := CacheKey{Kind: "f", Resource: fmt.Sprintf("h%d", i)}
+		c.Store(k, Inputs{BaseTime: float64(i)}, 0)
+	}
+	c.InvalidateAll()
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Lookup(CacheKey{Kind: "f", Resource: fmt.Sprintf("h%d", i)}); ok {
+			t.Fatalf("entry h%d survived InvalidateAll", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after InvalidateAll", st.Entries)
+	}
+}
+
+// TestCacheConcurrent hammers the cache from readers, writers, and
+// invalidators at once; run with -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := CacheKey{Kind: "f", Cost: float64(i % 7), Resource: fmt.Sprintf("h%d", i%3)}
+				gens := c.Generations()
+				if _, ok := c.Lookup(k); !ok {
+					c.Store(k, Inputs{BaseTime: k.Cost}, gens[k.Resource])
+				}
+				if i%50 == w {
+					c.Invalidate(k.Resource)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Sanity: surviving entries are readable and consistent.
+	for i := 0; i < 7; i++ {
+		k := CacheKey{Kind: "f", Cost: float64(i), Resource: "h0"}
+		if in, ok := c.Lookup(k); ok && in.BaseTime != k.Cost {
+			t.Fatalf("entry %v corrupted: %+v", k, in)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/afg"
 	"repro/internal/repository"
@@ -68,10 +69,14 @@ func (r *RandomScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 	return table, nil
 }
 
-// RoundRobinScheduler cycles through hosts in name order.
+// RoundRobinScheduler cycles through hosts in name order. The cursor is
+// mutex-guarded so concurrent batch scheduling stays race-free (though the
+// offset each graph starts at then depends on completion order).
 type RoundRobinScheduler struct {
 	Sites map[string]*repository.Repository
-	next  int
+
+	mu   sync.Mutex
+	next int
 }
 
 // Schedule implements Scheduler.
@@ -85,6 +90,8 @@ func (r *RoundRobinScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, id := range order {
 		h := hosts[r.next%len(hosts)]
 		r.next++

@@ -1,0 +1,81 @@
+package scheduler
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/afg"
+)
+
+// BatchItem is one application's outcome within a batch: either its
+// allocation table or the error that stopped its scheduling. Exactly one of
+// Table/Err is set.
+type BatchItem struct {
+	Graph *afg.Graph
+	Table *AllocationTable
+	Err   error
+}
+
+// Batch schedules many application flow graphs concurrently against shared
+// site state. The underlying Scheduler is invoked from multiple goroutines
+// at once, which is safe for SiteScheduler/LocalSelector (their per-run
+// state is local; the repositories, network model, and prediction cache are
+// all concurrency-safe) and for the baseline schedulers.
+//
+// Results come back in input order regardless of completion order. For
+// stateless schedulers (SiteScheduler and every baseline except round-
+// robin) the tables are also independent of the worker count; round-robin
+// keeps a cursor across calls, so its per-graph starting offset follows
+// completion order.
+type Batch struct {
+	// Scheduler maps one AFG to resources; it must tolerate concurrent
+	// Schedule calls.
+	Scheduler Scheduler
+	// Workers bounds concurrent Schedule calls (0 = GOMAXPROCS, 1 =
+	// serial — the baseline the scale benchmark compares against).
+	Workers int
+}
+
+// Schedule maps every graph and returns one item per input, in input order.
+func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
+	items := make([]BatchItem, len(graphs))
+	for i, g := range graphs {
+		items[i].Graph = g
+	}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	if workers <= 1 {
+		for i, g := range graphs {
+			items[i].Table, items[i].Err = b.Scheduler.Schedule(g)
+		}
+		return items
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				items[i].Table, items[i].Err = b.Scheduler.Schedule(graphs[i])
+			}
+		}()
+	}
+	for i := range graphs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return items
+}
+
+// ScheduleBatch is the convenience form: schedule graphs with s across
+// `workers` goroutines and return the items in input order.
+func ScheduleBatch(s Scheduler, graphs []*afg.Graph, workers int) []BatchItem {
+	return (&Batch{Scheduler: s, Workers: workers}).Schedule(graphs)
+}

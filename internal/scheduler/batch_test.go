@@ -1,0 +1,272 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/afg"
+	"repro/internal/predict"
+	"repro/internal/repository"
+)
+
+// multiSiteScheduler builds an n-site scheduler over fresh repositories;
+// cached attaches a prediction cache to every selector.
+func multiSiteScheduler(t testing.TB, n int, cached bool) (*SiteScheduler, []*LocalSelector) {
+	t.Helper()
+	var sels []*LocalSelector
+	mk := func(i int) *LocalSelector {
+		site := fmt.Sprintf("site%02d", i)
+		repo := makeRepo(t, site, map[string][2]float64{
+			site + "-a": {1 + float64(i%5), float64(i % 3)},
+			site + "-b": {2, 0.5},
+			site + "-c": {4, 2},
+		})
+		sel := &LocalSelector{Site: site, Repo: repo}
+		if cached {
+			sel.Cache = predict.NewCache()
+		}
+		sels = append(sels, sel)
+		return sel
+	}
+	local := mk(0)
+	var remotes []HostSelector
+	for i := 1; i < n; i++ {
+		remotes = append(remotes, mk(i))
+	}
+	return NewSiteScheduler(local, remotes, nil, 0), sels
+}
+
+func randomGraphs(n, tasks int, seed int64) []*afg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*afg.Graph, n)
+	for i := range out {
+		g := afg.New(fmt.Sprintf("g%02d", i))
+		var prev afg.TaskID
+		for j := 0; j < tasks; j++ {
+			id := afg.TaskID(fmt.Sprintf("t%03d", j))
+			g.AddTask(&afg.Task{
+				ID: id, Function: "synthetic.noop",
+				ComputeCost: 0.1 + rng.Float64()*3,
+				OutputBytes: rng.Int63n(1 << 12),
+			})
+			if j > 0 && rng.Intn(3) > 0 {
+				g.AddLink(afg.Link{From: prev, To: id, Bytes: 1 << 10})
+			}
+			prev = id
+		}
+		out[i] = g
+	}
+	return out
+}
+
+func assertSameTable(t *testing.T, want, got *AllocationTable) {
+	t.Helper()
+	wo, go_ := want.Order(), got.Order()
+	if len(wo) != len(go_) {
+		t.Fatalf("order length %d != %d", len(wo), len(go_))
+	}
+	for i := range wo {
+		if wo[i] != go_[i] {
+			t.Fatalf("order[%d] = %q, want %q", i, go_[i], wo[i])
+		}
+		w, _ := want.Get(wo[i])
+		g, _ := got.Get(wo[i])
+		if w.Site != g.Site || w.Host != g.Host || w.Predicted != g.Predicted {
+			t.Fatalf("task %q: got %+v, want %+v", wo[i], g, w)
+		}
+	}
+}
+
+// TestConcurrentFanOutMatchesSerial is the determinism contract of the
+// tentpole: the parallel site fan-out (with prediction caches) must produce
+// exactly the allocation table the serial walk produces.
+func TestConcurrentFanOutMatchesSerial(t *testing.T) {
+	graphs := randomGraphs(4, 40, 7)
+	serial, _ := multiSiteScheduler(t, 8, false)
+	serial.Concurrency = 1
+	conc, _ := multiSiteScheduler(t, 8, true)
+	conc.Concurrency = 4
+	for i, g := range graphs {
+		want, err := serial.Schedule(g)
+		if err != nil {
+			t.Fatalf("serial graph %d: %v", i, err)
+		}
+		got, err := conc.Schedule(g)
+		if err != nil {
+			t.Fatalf("concurrent graph %d: %v", i, err)
+		}
+		assertSameTable(t, want, got)
+	}
+}
+
+// TestCachedSelectorMatchesUncached checks the cache is transparent: the
+// same selector with and without a cache yields bitwise-identical choices,
+// including on repeated walks (the all-hits path).
+func TestCachedSelectorMatchesUncached(t *testing.T) {
+	repo := makeRepo(t, "syr", map[string][2]float64{
+		"fast": {4, 0.2}, "slow": {1, 0}, "mid": {2, 1.5},
+	})
+	repo.Tasks.Put(repository.TaskRecord{Function: "synthetic.noop", BaseTime: 0.7, MemReq: 1 << 20})
+	repo.Tasks.SetWeight("synthetic.noop", "fast", 0.3)
+	plain := &LocalSelector{Site: "syr", Repo: repo}
+	cached := &LocalSelector{Site: "syr", Repo: repo, Cache: predict.NewCache()}
+	g := randomGraphs(1, 30, 11)[0]
+	want, err := plain.SelectHosts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := cached.SelectHosts(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, w := range want {
+			c := got[id]
+			if c.Host != w.Host || c.Predicted != w.Predicted {
+				t.Fatalf("round %d task %q: cached %+v, uncached %+v", round, id, c, w)
+			}
+		}
+	}
+	if st := cached.Cache.Stats(); st.Hits == 0 {
+		t.Fatalf("cache never hit: %+v", st)
+	}
+}
+
+// TestCacheInvalidationChangesSelection checks the cache does NOT outlive a
+// monitor update: after a load update + invalidation the cached selector
+// must re-read the repository and move to the newly attractive host.
+func TestCacheInvalidationChangesSelection(t *testing.T) {
+	repo := makeRepo(t, "syr", map[string][2]float64{
+		"a": {2, 0}, "b": {2, 5},
+	})
+	cache := predict.NewCache()
+	sel := &LocalSelector{Site: "syr", Repo: repo, Cache: cache}
+	g := chainGraph(t, []float64{1}, 0)
+	choices, err := sel.SelectHosts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices["a"].Host != "a" {
+		t.Fatalf("expected idle host a first, got %q", choices["a"].Host)
+	}
+	// Loads flip: a gets slammed, b goes idle. Without invalidation the
+	// memoized inputs would keep sending tasks to a.
+	repo.Resources.UpdateDynamic("a", 5, 1<<30, time.Now())
+	repo.Resources.UpdateDynamic("b", 0, 1<<30, time.Now())
+	cache.Invalidate("a")
+	cache.Invalidate("b")
+	choices, err = sel.SelectHosts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices["a"].Host != "b" {
+		t.Fatalf("after invalidation expected host b, got %q", choices["a"].Host)
+	}
+}
+
+// TestBatchSchedulesInInputOrder checks items line up with inputs and that
+// worker count does not change any table.
+func TestBatchSchedulesInInputOrder(t *testing.T) {
+	graphs := randomGraphs(9, 25, 3)
+	s, _ := multiSiteScheduler(t, 4, true)
+	serialItems := ScheduleBatch(s, graphs, 1)
+	concItems := ScheduleBatch(s, graphs, 8)
+	if len(serialItems) != len(graphs) || len(concItems) != len(graphs) {
+		t.Fatalf("item counts %d/%d, want %d", len(serialItems), len(concItems), len(graphs))
+	}
+	for i := range graphs {
+		if concItems[i].Graph != graphs[i] {
+			t.Fatalf("item %d carries wrong graph", i)
+		}
+		if serialItems[i].Err != nil || concItems[i].Err != nil {
+			t.Fatalf("item %d errs: %v / %v", i, serialItems[i].Err, concItems[i].Err)
+		}
+		assertSameTable(t, serialItems[i].Table, concItems[i].Table)
+	}
+}
+
+// TestBatchReportsPerItemErrors checks one unschedulable graph fails alone.
+func TestBatchReportsPerItemErrors(t *testing.T) {
+	graphs := randomGraphs(3, 10, 5)
+	bad := afg.New("bad")
+	bad.AddTask(&afg.Task{ID: "x", Function: "f", MachineType: "cray", ComputeCost: 1})
+	graphs[1] = bad
+	s, _ := multiSiteScheduler(t, 2, false)
+	items := ScheduleBatch(s, graphs, 4)
+	if items[0].Err != nil || items[2].Err != nil {
+		t.Fatalf("good graphs errored: %v / %v", items[0].Err, items[2].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("unschedulable graph did not error")
+	}
+}
+
+// TestConcurrentSchedulingUnderMonitorUpdates races batch scheduling with
+// the fan-out worker pool against live repository updates and cache
+// invalidations — the -race exercise for the whole concurrent subsystem.
+func TestConcurrentSchedulingUnderMonitorUpdates(t *testing.T) {
+	s, sels := multiSiteScheduler(t, 6, true)
+	s.Concurrency = 4
+	graphs := randomGraphs(8, 30, 13)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sel := sels[i%len(sels)]
+			for _, rec := range sel.Repo.Resources.List() {
+				if rng.Intn(2) == 0 {
+					sel.Repo.Resources.UpdateDynamic(rec.Static.HostName, rng.Float64()*4, 1<<30, time.Now())
+					sel.Cache.Invalidate(rec.Static.HostName)
+				}
+			}
+		}
+	}()
+
+	items := ScheduleBatch(s, graphs, 4)
+	close(stop)
+	wg.Wait()
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("graph %d: %v", i, it.Err)
+		}
+		if len(it.Table.Order()) != graphs[i].Len() {
+			t.Fatalf("graph %d: table has %d of %d tasks", i, len(it.Table.Order()), graphs[i].Len())
+		}
+	}
+}
+
+// TestAllocationTableOrdering pins the Order/Get contracts the concurrent
+// merge relies on.
+func TestAllocationTableOrdering(t *testing.T) {
+	table := NewAllocationTable("app")
+	for _, id := range []afg.TaskID{"c", "a", "b"} {
+		table.Set(Assignment{Task: id, Site: "syr", Host: "h"})
+	}
+	if o := table.Order(); len(o) != 3 || o[0] != "c" || o[1] != "a" || o[2] != "b" {
+		t.Fatalf("order = %v, want assignment order [c a b]", o)
+	}
+	// Order returns a copy: mutating it must not corrupt the table.
+	o := table.Order()
+	o[0] = "zzz"
+	if table.Order()[0] != "c" {
+		t.Fatal("Order exposed internal state")
+	}
+	if _, ok := table.Get("missing"); ok {
+		t.Fatal("Get on missing task reported ok")
+	}
+	if ps := table.PerSite("nowhere"); len(ps) != 0 {
+		t.Fatalf("PerSite(nowhere) = %v", ps)
+	}
+}

@@ -9,7 +9,6 @@ package scheduler
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/afg"
@@ -120,6 +119,14 @@ type LocalSelector struct {
 	Site string
 	Repo *repository.Repository
 
+	// Cache optionally memoizes assembled prediction inputs per
+	// (task kind, size, host) so repeated walks skip the task- and
+	// resource-database lookups. The owner (site.Manager) invalidates a
+	// host's entries whenever a monitor update changes its dynamic state.
+	// Callers that set a stateful Forecast must leave Cache nil: cached
+	// inputs bake in the forecast value computed at store time.
+	Cache *predict.Cache
+
 	// Forecast optionally maps a host's last recorded load to the load
 	// value used in predictions (workload forecasting, §2.2.1). nil uses
 	// the recorded value directly.
@@ -141,6 +148,13 @@ func (s *LocalSelector) SiteName() string { return s.Site }
 // task_i to the resource R_j" step updates the selector's own view, so a
 // wide application does not dog-pile the single best machine.
 func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error) {
+	// Generation snapshot BEFORE the repository read: a monitor update
+	// landing between List() and a Store() bumps the generation past the
+	// snapshot, so stale inputs are never cached as current.
+	var gens map[string]uint64
+	if s.Cache != nil {
+		gens = s.Cache.Generations()
+	}
 	resources := s.Repo.Resources.List()
 	levels, err := g.Levels()
 	if err != nil {
@@ -154,7 +168,7 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 	out := make(map[afg.TaskID]Choice, g.Len())
 	for _, id := range prio(g.TaskIDs(), levels) {
 		task := g.Task(id)
-		choice, err := s.selectFor(task, resources, queued)
+		choice, err := s.selectFor(task, resources, queued, gens)
 		if err != nil {
 			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, err)
 		}
@@ -170,7 +184,7 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 // returns the minimiser. Parallel tasks select task.Processors machines
 // (the paper's "the host selection algorithm is updated to select the
 // number of machines required within the site").
-func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued map[string]float64) (Choice, error) {
+func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued map[string]float64, gens map[string]uint64) (Choice, error) {
 	type scored struct {
 		host string
 		pred float64
@@ -186,7 +200,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		if !s.Repo.Constraints.CanRun(task.Function, r.Static.HostName) {
 			continue
 		}
-		cands = append(cands, scored{r.Static.HostName, s.predictOn(task, r, queued[r.Static.HostName])})
+		cands = append(cands, scored{r.Static.HostName, s.predictOn(task, r, queued[r.Static.HostName], gens)})
 	}
 	if len(cands) == 0 {
 		return Choice{}, ErrNoEligibleHost
@@ -216,8 +230,34 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 
 // predictOn evaluates the prediction function for one task on one resource;
 // queuedLoad is the load contribution of tasks this selector already placed
-// on the resource during the current SelectHosts walk.
-func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, queuedLoad float64) float64 {
+// on the resource during the current SelectHosts walk. gens is the cache
+// generation snapshot taken at walk start (nil when caching is off).
+func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, queuedLoad float64, gens map[string]uint64) float64 {
+	if s.Cache == nil {
+		in := s.assembleInputs(task, r)
+		in.CPULoad += queuedLoad
+		return predict.Seconds(in)
+	}
+	key := predict.CacheKey{
+		Kind:     task.Function,
+		Cost:     task.ComputeCost,
+		MemReq:   task.MemReq,
+		Resource: r.Static.HostName,
+	}
+	in, ok := s.Cache.Lookup(key)
+	if !ok {
+		in = s.assembleInputs(task, r)
+		s.Cache.Store(key, in, gens[key.Resource])
+	}
+	in.CPULoad += queuedLoad
+	return predict.Seconds(in)
+}
+
+// assembleInputs gathers the prediction parameters for one (task, resource)
+// pair from the task- and resource-performance databases — the per-pair
+// repository work the prediction cache memoizes. The queued-load term is
+// deliberately excluded: it is walk-local state, added by the caller.
+func (s *LocalSelector) assembleInputs(task *afg.Task, r repository.ResourceRecord) predict.Inputs {
 	base := task.ComputeCost
 	memReq := task.MemReq
 	weight, haveWeight := s.Repo.Tasks.Weight(task.Function, r.Static.HostName)
@@ -239,14 +279,13 @@ func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, q
 	if s.Forecast != nil {
 		load = s.Forecast(r.Static.HostName, load)
 	}
-	load += queuedLoad
-	return predict.Seconds(predict.Inputs{
+	return predict.Inputs{
 		BaseTime: base,
 		Weight:   weight,
 		MemReq:   memReq,
 		MemAvail: r.Dynamic.AvailableMemory,
 		CPULoad:  load,
-	})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -266,10 +305,4 @@ func ByLevel(ids []afg.TaskID, levels map[afg.TaskID]float64) []afg.TaskID {
 		return out[i] < out[j]
 	})
 	return out
-}
-
-// maxFloat returns the larger of a and b (avoids importing math for one use
-// elsewhere; math is already imported here for Inf).
-func maxFloat(a, b float64) float64 {
-	return math.Max(a, b)
 }

@@ -40,11 +40,6 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 	// the schedulable task (all parents done) with the earliest possible
 	// start. A simple priority queue over candidate starts suffices
 	// because starts only move later, never earlier.
-	type item struct {
-		id    afg.TaskID
-		start float64
-		index int
-	}
 	pending := map[afg.TaskID]bool{}
 	for _, id := range order {
 		pending[id] = true
@@ -69,14 +64,14 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 			if net != nil && p.Host != a.Host {
 				arrive += net.TransferTime(p.Site, a.Site, transferBytes(g, l)).Seconds()
 			}
-			earliest = maxFloat(earliest, arrive)
+			earliest = math.Max(earliest, arrive)
 		}
 		hosts := a.Hosts
 		if len(hosts) == 0 {
 			hosts = []string{a.Host}
 		}
 		for _, h := range hosts {
-			earliest = maxFloat(earliest, hostFree[h])
+			earliest = math.Max(earliest, hostFree[h])
 		}
 		return earliest, nil
 	}
@@ -118,7 +113,7 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		}
 		finish[it.id] = end
 		delete(pending, it.id)
-		makespan = maxFloat(makespan, end)
+		makespan = math.Max(makespan, end)
 	}
 	return makespan, nil
 }
@@ -154,9 +149,9 @@ func (q pq) Less(i, j int) bool {
 	}
 	return q[i].id < q[j].id
 }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
 	old := *q
 	n := len(old)
 	it := old[n-1]

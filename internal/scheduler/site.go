@@ -3,6 +3,9 @@ package scheduler
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/afg"
 	"repro/internal/netsim"
@@ -34,6 +37,15 @@ type SiteScheduler struct {
 	// Priority orders the ready set each step; nil means the paper's
 	// level rule (ByLevel). FIFOPriority is the ablation alternative.
 	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+
+	// Concurrency bounds the worker pool fanning Host Selection out
+	// across sites (steps 3–5): 0 uses GOMAXPROCS workers, 1 keeps the
+	// fully serial walk (the baseline the scale benchmark measures
+	// against), and any n > 1 runs at most n selections at once. The
+	// merge is deterministic — results are ordered by site name before
+	// the ready-set walk — so the allocation table does not depend on
+	// goroutine scheduling.
+	Concurrency int
 }
 
 // NewSiteScheduler builds a transfer-aware scheduler with fan-out k.
@@ -54,25 +66,12 @@ func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 	selectors := []HostSelector{s.Local}
 	selectors = append(selectors, s.nearestRemotes()...)
 
-	// Steps 4–5: gather host selections per site. A site that cannot host
-	// some task (constraints) is skipped for that task rather than
-	// failing the whole application.
-	type siteResult struct {
-		name    string
-		choices map[afg.TaskID]Choice
-	}
-	var results []siteResult
-	for _, sel := range selectors {
-		choices, err := sel.SelectHosts(g)
-		if err != nil {
-			// Partial sites still contribute: retry per task below via
-			// the choices they *could* make. For simplicity a failed
-			// site is dropped entirely; the local site failing is fatal
-			// only if no site can host a task (checked later).
-			continue
-		}
-		results = append(results, siteResult{sel.SiteName(), choices})
-	}
+	// Steps 4–5: gather host selections per site, fanning out across the
+	// worker pool. A site that cannot host some task (constraints) is
+	// skipped for that task rather than failing the whole application:
+	// a failed site is dropped entirely; the local site failing is fatal
+	// only if no site can host a task (checked later).
+	results := s.collectSelections(g, selectors)
 	if len(results) == 0 {
 		return nil, ErrNoSites
 	}
@@ -128,6 +127,56 @@ func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 		tracker.Complete(id)
 	}
 	return table, nil
+}
+
+// siteResult is one site's contribution to steps 4–5.
+type siteResult struct {
+	name    string
+	choices map[afg.TaskID]Choice
+}
+
+// collectSelections runs the Host Selection Algorithm on every selector —
+// serially when Concurrency is 1, otherwise through a bounded worker pool —
+// and merges the successful results deterministically by site name.
+func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector) []siteResult {
+	gathered := make([]siteResult, len(selectors))
+	if s.Concurrency == 1 || len(selectors) == 1 {
+		for i, sel := range selectors {
+			if choices, err := sel.SelectHosts(g); err == nil {
+				gathered[i] = siteResult{sel.SiteName(), choices}
+			}
+		}
+	} else {
+		workers := s.Concurrency
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(selectors) {
+			workers = len(selectors)
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, sel := range selectors {
+			wg.Add(1)
+			go func(i int, sel HostSelector) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if choices, err := sel.SelectHosts(g); err == nil {
+					gathered[i] = siteResult{sel.SiteName(), choices}
+				}
+			}(i, sel)
+		}
+		wg.Wait()
+	}
+	results := gathered[:0]
+	for _, r := range gathered {
+		if r.choices != nil {
+			results = append(results, r)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
+	return results
 }
 
 // nearestRemotes returns the k nearest remote selectors by network latency

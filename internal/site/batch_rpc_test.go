@@ -1,0 +1,61 @@
+package site
+
+import (
+	"net/rpc"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestScheduleBatchOverRPC drives the Site.ScheduleBatch endpoint — the
+// scheduler.Batch API as exposed by cmd/vdce-server — and checks per-item
+// results come back in input order.
+func TestScheduleBatchOverRPC(t *testing.T) {
+	m := newTestSite(t, "syracuse", 4, 31)
+	m.TickMonitors()
+	addr, stop, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	graphs := []interface{ Encode() ([]byte, error) }{
+		workload.Scale(50, 5, 4, 1),
+		workload.Pipeline(8, 0.1, 1<<10),
+		workload.ForkJoin(6, 0.2, 1<<10),
+	}
+	var args BatchArgs
+	for _, g := range graphs {
+		raw, err := g.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		args.AFGs = append(args.AFGs, raw)
+	}
+	// One malformed AFG mid-batch must fail alone, not sink the batch.
+	args.AFGs = append(args.AFGs, []byte("{not json"))
+	var reply BatchReply
+	if err := client.Call("Site.ScheduleBatch", args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Tables) != 4 || len(reply.Errs) != 4 {
+		t.Fatalf("got %d tables / %d errs, want 4", len(reply.Tables), len(reply.Errs))
+	}
+	for i, want := range []int{50, 8, 8} {
+		if reply.Errs[i] != "" {
+			t.Fatalf("item %d errored: %s", i, reply.Errs[i])
+		}
+		if len(reply.Tables[i]) != want {
+			t.Fatalf("item %d: %d assignments, want %d", i, len(reply.Tables[i]), want)
+		}
+	}
+	// (gob delivers the nil table slot as an empty map)
+	if reply.Errs[3] == "" || len(reply.Tables[3]) != 0 {
+		t.Fatalf("malformed item: errs=%q tables=%v", reply.Errs[3], reply.Tables[3])
+	}
+}

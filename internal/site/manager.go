@@ -33,6 +33,10 @@ type Config struct {
 	LoadThreshold float64
 	// UseSockets makes executions ship data through real TCP proxies.
 	UseSockets bool
+	// SchedulerConcurrency bounds the Site Scheduler's fan-out worker
+	// pool and the batch endpoint's per-application workers
+	// (0 = GOMAXPROCS, 1 = serial).
+	SchedulerConcurrency int
 }
 
 // Manager is one VDCE site.
@@ -42,6 +46,7 @@ type Manager struct {
 	Pool     *resource.Pool
 	Groups   []*monitor.GroupManager
 	Selector *scheduler.LocalSelector
+	Cache    *predict.Cache // prediction memo shared by the site's selectors
 	Net      *netsim.Network
 	Registry *tasklib.Registry
 	Gate     *datamgr.Gate
@@ -64,6 +69,7 @@ func NewManager(siteName string, pool *resource.Pool, nw *netsim.Network, reg *t
 		Site:     siteName,
 		Repo:     repository.New(),
 		Pool:     pool,
+		Cache:    predict.NewCache(),
 		Net:      nw,
 		Registry: reg,
 		Gate:     datamgr.NewGate(),
@@ -95,7 +101,7 @@ func NewManager(siteName string, pool *resource.Pool, nw *netsim.Network, reg *t
 			siteName, hosts[i:end], m, cfg.Monitor, nw)
 		m.Groups = append(m.Groups, gm)
 	}
-	m.Selector = &scheduler.LocalSelector{Site: siteName, Repo: m.Repo}
+	m.Selector = &scheduler.LocalSelector{Site: siteName, Repo: m.Repo, Cache: m.Cache}
 	m.seedTaskDatabase()
 	return m, nil
 }
@@ -121,20 +127,24 @@ func (m *Manager) seedTaskDatabase() {
 
 // UpdateWorkload stores a significantly changed measurement in the
 // resource-performance database ("the Site Manager stores/updates the
-// relevant VDCE database with the received values").
+// relevant VDCE database with the received values") and evicts the host's
+// memoized predictions, which baked in the old load.
 func (m *Manager) UpdateWorkload(ms monitor.Measurement) {
 	m.Repo.Resources.UpdateDynamic(ms.Host, ms.Load, ms.AvailMem, ms.At)
+	m.Cache.Invalidate(ms.Host)
 }
 
 // HostDown marks the host "down" in the repository so no further tasks are
 // mapped onto it.
 func (m *Manager) HostDown(host string, at time.Time) {
 	m.Repo.Resources.SetDown(host, true)
+	m.Cache.Invalidate(host)
 }
 
 // HostUp clears the down mark after recovery.
 func (m *Manager) HostUp(host string, at time.Time) {
 	m.Repo.Resources.SetDown(host, false)
+	m.Cache.Invalidate(host)
 }
 
 var _ monitor.Sink = (*Manager)(nil)
@@ -179,6 +189,7 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 			// waiting for the next monitor round.
 			if ph := m.Pool.Get(h); ph != nil && ph.IsDown() {
 				m.Repo.Resources.SetDown(h, true)
+				m.Cache.Invalidate(h)
 			}
 		}
 		var best scheduler.Assignment
@@ -206,6 +217,29 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 	}
 }
 
+// SiteScheduler builds this site's distributed Site Scheduler over the given
+// remote selectors, with the configured fan-out concurrency.
+func (m *Manager) SiteScheduler(remotes []scheduler.HostSelector) *scheduler.SiteScheduler {
+	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
+	sched.Concurrency = m.cfg.SchedulerConcurrency
+	return sched
+}
+
+// ScheduleBatch schedules many applications concurrently against this site
+// (plus the given remote selectors), sharing the repository and prediction
+// cache across all of them. Results come back in input order.
+// SchedulerConcurrency is one budget, not two: with several graphs in
+// flight it bounds the batch workers and each schedule fans out serially;
+// a single graph gets the whole budget as fan-out instead. Without this,
+// the effective parallelism would be the square of the configured bound.
+func (m *Manager) ScheduleBatch(graphs []*afg.Graph, remotes []scheduler.HostSelector) []scheduler.BatchItem {
+	sched := m.SiteScheduler(remotes)
+	if len(graphs) > 1 {
+		sched.Concurrency = 1
+	}
+	return scheduler.ScheduleBatch(sched, graphs, m.cfg.SchedulerConcurrency)
+}
+
 // ExecuteLocal schedules (against this site only, plus the given remote
 // selectors) and executes an application whose tasks all resolve to hosts
 // this manager can reach through resolve. It also records measured
@@ -213,7 +247,7 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 // application execution is completed, the newly measured execution time of
 // each application task is stored").
 func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []scheduler.HostSelector, resolve func(string) *resource.Host) (*runtime.Result, *scheduler.AllocationTable, error) {
-	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
+	sched := m.SiteScheduler(remotes)
 	table, err := sched.Schedule(g)
 	if err != nil {
 		return nil, nil, err
@@ -257,7 +291,7 @@ func (m *Manager) ExecuteDistributed(ctx context.Context, g *afg.Graph, peers []
 		remotes = append(remotes, p)
 		byName[p.Name] = p
 	}
-	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
+	sched := m.SiteScheduler(remotes)
 	table, err := sched.Schedule(g)
 	if err != nil {
 		return nil, nil, err

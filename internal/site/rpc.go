@@ -52,6 +52,54 @@ func (s *Service) SelectHosts(args SelectArgs, reply *SelectReply) error {
 	return nil
 }
 
+// BatchArgs carries many JSON-encoded application flow graphs for
+// concurrent scheduling against this site and its configured peers.
+type BatchArgs struct {
+	AFGs [][]byte
+}
+
+// BatchReply returns one allocation table (or error string) per input AFG,
+// in input order. Exactly one of Tables[i]/Errs[i] is non-zero.
+type BatchReply struct {
+	Tables []map[afg.TaskID]scheduler.Assignment
+	Errs   []string
+}
+
+// ScheduleBatch schedules a batch of applications concurrently against
+// shared site state (the scheduler.Batch API over RPC). It returns the
+// allocation tables only — execution stays with the caller, which lets a
+// client probe placements for many candidate applications in one round
+// trip. Failures are per item: a graph that does not decode or schedule
+// reports through Errs[i] without sinking the rest of the batch.
+func (s *Service) ScheduleBatch(args BatchArgs, reply *BatchReply) error {
+	reply.Tables = make([]map[afg.TaskID]scheduler.Assignment, len(args.AFGs))
+	reply.Errs = make([]string, len(args.AFGs))
+	var graphs []*afg.Graph
+	var indices []int // position of graphs[j] in the reply
+	for i, raw := range args.AFGs {
+		g, err := afg.Decode(raw)
+		if err != nil {
+			reply.Errs[i] = fmt.Sprintf("site: batch graph %d: %v", i, err)
+			continue
+		}
+		graphs = append(graphs, g)
+		indices = append(indices, i)
+	}
+	var remotes []scheduler.HostSelector
+	for _, p := range s.peers {
+		remotes = append(remotes, p)
+	}
+	for j, it := range s.m.ScheduleBatch(graphs, remotes) {
+		i := indices[j]
+		if it.Err != nil {
+			reply.Errs[i] = it.Err.Error()
+			continue
+		}
+		reply.Tables[i] = it.Table.Entries
+	}
+	return nil
+}
+
 // AuthArgs is a user/password pair.
 type AuthArgs struct{ User, Password string }
 
