@@ -90,3 +90,13 @@ func BenchmarkScheduleQuality(b *testing.B) {
 func BenchmarkScaleScheduling(b *testing.B) {
 	runExperiment(b, experiments.ScaleScheduling)
 }
+
+// BenchmarkLedgerScheduling — combined simulated makespan of the batch
+// under the three placement configurations: paper-faithful (ledger-free
+// concurrent batch), availability-aware (earliest finish time, private
+// timelines), and availability-aware with the shared cross-application
+// load ledger. Headline metrics are makespan_{faithful,eft,ledger} and
+// ledger_improvement_pct.
+func BenchmarkLedgerScheduling(b *testing.B) {
+	runExperiment(b, experiments.AvailabilityScheduling)
+}

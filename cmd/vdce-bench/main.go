@@ -30,14 +30,15 @@ var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
 	"TAB-PRED":  experiments.PredictionAccuracy,
 	"TAB-SCHED": experiments.ScheduleQuality,
 	"SCALE":     experiments.ScaleScheduling,
+	"LEDGER":    experiments.AvailabilityScheduling,
 }
 
 var experimentOrder = []string{
-	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE",
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	flag.Parse()

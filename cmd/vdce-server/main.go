@@ -40,6 +40,7 @@ func main() {
 	threshold := flag.Float64("load-threshold", 0, "QoS load threshold (0 = disabled)")
 	repoPath := flag.String("repo", "", "site repository file: loaded at startup if present, saved on shutdown")
 	schedWorkers := flag.Int("sched-workers", 0, "scheduling concurrency: site fan-out and batch workers (0 = GOMAXPROCS, 1 = serial)")
+	availAware := flag.Bool("avail-aware", false, "place tasks by earliest finish time (predicted + transfer + host wait) instead of the paper-faithful objective")
 	flag.Parse()
 
 	pool := resource.GenerateSite(*siteName, *hosts, *spread, *seed)
@@ -48,6 +49,7 @@ func main() {
 		UseSockets:           *sockets,
 		LoadThreshold:        *threshold,
 		SchedulerConcurrency: *schedWorkers,
+		AvailabilityAware:    *availAware,
 	})
 	if err != nil {
 		log.Fatalf("vdce-server: %v", err)

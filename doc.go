@@ -7,6 +7,15 @@
 // repositories, resource monitoring, a WAN model) and an evaluation harness
 // reproducing every figure in the paper.
 //
+// Beyond the paper, the scheduler offers availability-aware placement —
+// earliest-finish-time site/host selection over estimated host-free
+// timelines, with a shared cross-application load ledger so concurrently
+// scheduled applications spread around each other's in-flight placements —
+// and an incremental event-driven makespan simulator (near-linear in
+// tasks and links on realistic allocations) that scores allocation
+// tables at scale. Both are opt-in; the paper-faithful
+// algorithms remain the defaults and the evaluation baselines.
+//
 // See README.md for the architecture overview, the per-experiment index,
 // and how to run the benchmarks. The root-level bench_test.go wraps each
 // experiment in a testing.B benchmark.

@@ -179,6 +179,32 @@ func TestFig1AggregationHelps(t *testing.T) {
 	}
 }
 
+func TestLedgerBeatsLedgerFreeBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6×1000-task batches ×3 configurations in short mode")
+	}
+	r, err := AvailabilityScheduling(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faithful := r.Metrics["makespan_faithful"]
+	eft := r.Metrics["makespan_eft"]
+	ledger := r.Metrics["makespan_ledger"]
+	if faithful <= 0 || eft <= 0 || ledger <= 0 {
+		t.Fatalf("non-positive makespans: %v", r.Metrics)
+	}
+	// The shared-ledger batch must beat the ledger-free concurrent batch
+	// (the PR 1 code path) on combined simulated makespan...
+	if ledger >= faithful {
+		t.Fatalf("shared ledger (%v) did not beat the ledger-free faithful batch (%v)", ledger, faithful)
+	}
+	// ...and also the availability-aware-but-private-timeline ablation,
+	// since the ledger's whole job is cross-application contention.
+	if ledger >= eft {
+		t.Fatalf("shared ledger (%v) did not beat private-timeline EFT (%v)", ledger, eft)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
@@ -187,7 +213,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 10 {
+	if len(results) != 11 {
 		t.Fatalf("results = %d", len(results))
 	}
 	seen := map[string]bool{}

@@ -47,15 +47,16 @@ func repoScaleSite(name string, hosts int, seed int64) *repository.Repository {
 }
 
 // scaleScheduler assembles the multi-site Site Scheduler over fresh
-// per-site repositories. cached attaches a prediction cache to every
-// selector; concurrency is the fan-out worker bound (1 = the serial path).
-func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteScheduler, []*predict.Cache) {
+// per-site repositories (returned by site name for truth-model building).
+// cached attaches a prediction cache to every selector; concurrency is the
+// fan-out worker bound (1 = the serial path).
+func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteScheduler, []*predict.Cache, map[string]*repository.Repository) {
 	var caches []*predict.Cache
+	repos := make(map[string]*repository.Repository, scaleSites)
 	selector := func(i int) *scheduler.LocalSelector {
-		sel := &scheduler.LocalSelector{
-			Site: fmt.Sprintf("site%02d", i),
-			Repo: repoScaleSite(fmt.Sprintf("site%02d", i), scaleHostsPerSite, seed+int64(i)),
-		}
+		name := fmt.Sprintf("site%02d", i)
+		repos[name] = repoScaleSite(name, scaleHostsPerSite, seed+int64(i))
+		sel := &scheduler.LocalSelector{Site: name, Repo: repos[name]}
 		if cached {
 			sel.Cache = predict.NewCache()
 			caches = append(caches, sel.Cache)
@@ -69,7 +70,7 @@ func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteSc
 	}
 	s := scheduler.NewSiteScheduler(local, remotes, nil, 0)
 	s.Concurrency = concurrency
-	return s, caches
+	return s, caches, repos
 }
 
 func scaleGraphSet(seed int64) []*afg.Graph {
@@ -127,14 +128,14 @@ func ScaleScheduling(seed int64) (*Result, error) {
 	}
 
 	// Serial path: no cache, fan-out bound 1, one graph at a time.
-	serial, _ := scaleScheduler(seed, false, 1)
+	serial, _, _ := scaleScheduler(seed, false, 1)
 	t0 := time.Now()
 	serialItems := scheduler.ScheduleBatch(serial, graphs, 1)
 	serialSec := time.Since(t0).Seconds()
 
 	// Concurrent path: prediction caches, GOMAXPROCS fan-out and batch
 	// workers, all graphs in flight against shared site state.
-	conc, caches := scaleScheduler(seed, true, 0)
+	conc, caches, _ := scaleScheduler(seed, true, 0)
 	t1 := time.Now()
 	concItems := (&scheduler.Batch{Scheduler: conc}).Schedule(graphs)
 	concSec := time.Since(t1).Seconds()

@@ -34,6 +34,16 @@ type Batch struct {
 	// Workers bounds concurrent Schedule calls (0 = GOMAXPROCS, 1 =
 	// serial — the baseline the scale benchmark compares against).
 	Workers int
+	// Ledger, when non-nil and the Scheduler is a *SiteScheduler, is the
+	// shared cross-application load ledger threaded through every
+	// Schedule call (forcing availability-aware placement): each graph's
+	// walk sees the predicted busy time the batch's other graphs have
+	// already placed per host, so the batch spreads instead of every
+	// graph dog-piling the same machines. Note the resulting tables then
+	// depend on completion order when Workers > 1 — cross-application
+	// awareness trades away the ledger-free mode's worker-count
+	// invariance.
+	Ledger *LoadLedger
 }
 
 // Schedule maps every graph and returns one item per input, in input order.
@@ -41,6 +51,12 @@ func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
 	items := make([]BatchItem, len(graphs))
 	for i, g := range graphs {
 		items[i].Graph = g
+	}
+	sched := b.Scheduler
+	if b.Ledger != nil {
+		if ss, ok := sched.(*SiteScheduler); ok {
+			sched = ss.WithLedger(b.Ledger)
+		}
 	}
 	workers := b.Workers
 	if workers <= 0 {
@@ -51,7 +67,7 @@ func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
 	}
 	if workers <= 1 {
 		for i, g := range graphs {
-			items[i].Table, items[i].Err = b.Scheduler.Schedule(g)
+			items[i].Table, items[i].Err = sched.Schedule(g)
 		}
 		return items
 	}
@@ -62,7 +78,7 @@ func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				items[i].Table, items[i].Err = b.Scheduler.Schedule(graphs[i])
+				items[i].Table, items[i].Err = sched.Schedule(graphs[i])
 			}
 		}()
 	}

@@ -167,6 +167,44 @@ func TestCacheInvalidationChangesSelection(t *testing.T) {
 	}
 }
 
+// TestCacheDoesNotBakeInForecast pins the forecast-at-lookup contract: the
+// prediction cache stores the raw recorded load, and Forecast is applied
+// per prediction. A forecaster whose view changes between walks must steer
+// the cached selector WITHOUT any cache invalidation — the old behaviour
+// (forecast applied before Cache.Store) froze the store-time value and
+// kept routing tasks to a host the forecaster no longer favoured.
+func TestCacheDoesNotBakeInForecast(t *testing.T) {
+	repo := makeRepo(t, "syr", map[string][2]float64{
+		"a": {1, 5}, "b": {1, 5},
+	})
+	forecast := map[string]float64{"a": 0, "b": 9} // a looks idle at first
+	sel := &LocalSelector{
+		Site: "syr", Repo: repo, Cache: predict.NewCache(),
+		Forecast: func(h string, recorded float64) float64 { return forecast[h] },
+	}
+	g := chainGraph(t, []float64{1}, 0)
+	choices, err := sel.SelectHosts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices["a"].Host != "a" {
+		t.Fatalf("initial forecast ignored: %+v", choices["a"])
+	}
+	// The forecaster changes its mind; the repository (and therefore the
+	// cache generation) does not move at all.
+	forecast["a"], forecast["b"] = 9, 0
+	choices, err = sel.SelectHosts(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices["a"].Host != "b" {
+		t.Fatalf("cached inputs baked in the old forecast: %+v", choices["a"])
+	}
+	if st := sel.Cache.Stats(); st.Hits == 0 {
+		t.Fatalf("second walk should have hit the cache: %+v", st)
+	}
+}
+
 // TestBatchSchedulesInInputOrder checks items line up with inputs and that
 // worker count does not change any table.
 func TestBatchSchedulesInInputOrder(t *testing.T) {

@@ -1,0 +1,89 @@
+package scheduler
+
+import "sync"
+
+// LoadLedger is the shared cross-application view of in-flight placements:
+// for every host it tracks the predicted busy seconds of tasks that have
+// been scheduled onto it but not (as far as the scheduler knows) finished.
+// One ledger threaded through a scheduler.Batch lets concurrent application
+// flow graphs see each other's placements during the availability-aware
+// walk, instead of every walk independently dog-piling the same best
+// machines. It is mutex-guarded: many Schedule goroutines reserve and read
+// concurrently.
+//
+// The ledger is an estimate, not a clock: Busy(h) answers "how many seconds
+// of already-promised work stand between now and h being free", which the
+// availability-aware walk folds into its earliest-finish-time objective.
+//
+// Lifecycle: the built-in users (Batch.Ledger, site.Manager's SharedLedger
+// batches) create one ledger per batch and discard it afterwards —
+// reservations only need to outlive the scheduling episode they coordinate.
+// An owner holding a ledger across episodes must release completed or
+// abandoned work itself (Release / ReleaseTable); nothing in the runtime
+// does so automatically, and unreleased reservations accumulate until
+// every host looks equally busy.
+type LoadLedger struct {
+	mu   sync.Mutex
+	busy map[string]float64 // host -> reserved busy seconds
+}
+
+// NewLoadLedger returns an empty ledger.
+func NewLoadLedger() *LoadLedger {
+	return &LoadLedger{busy: make(map[string]float64)}
+}
+
+// Reserve records `seconds` of predicted work placed on host.
+func (l *LoadLedger) Reserve(host string, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	l.mu.Lock()
+	l.busy[host] += seconds
+	l.mu.Unlock()
+}
+
+// Release removes `seconds` of previously reserved work from host,
+// clamping at zero (a release may race a monitor-driven reset).
+func (l *LoadLedger) Release(host string, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.busy[host] -= seconds; l.busy[host] <= 0 {
+		delete(l.busy, host)
+	}
+	l.mu.Unlock()
+}
+
+// Busy returns the reserved busy seconds currently standing on host.
+func (l *LoadLedger) Busy(host string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.busy[host]
+}
+
+// ReleaseTable releases every assignment of a completed (or abandoned)
+// application: each occupied host gives back the predicted duration the
+// availability-aware walk reserved on it.
+func (l *LoadLedger) ReleaseTable(t *AllocationTable) {
+	if t == nil {
+		return
+	}
+	for _, a := range t.Entries {
+		for _, h := range effectiveHosts(a) {
+			l.Release(h, a.Predicted)
+		}
+	}
+}
+
+// Snapshot copies the current host -> busy-seconds map (diagnostics and
+// experiment reporting).
+func (l *LoadLedger) Snapshot() map[string]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]float64, len(l.busy))
+	for h, b := range l.busy {
+		out[h] = b
+	}
+	return out
+}

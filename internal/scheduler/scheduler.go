@@ -123,14 +123,30 @@ type LocalSelector struct {
 	// (task kind, size, host) so repeated walks skip the task- and
 	// resource-database lookups. The owner (site.Manager) invalidates a
 	// host's entries whenever a monitor update changes its dynamic state.
-	// Callers that set a stateful Forecast must leave Cache nil: cached
-	// inputs bake in the forecast value computed at store time.
+	// Cached entries hold the raw recorded load; Forecast composes freely
+	// with the cache because it is applied at lookup time, never stored.
 	Cache *predict.Cache
 
 	// Forecast optionally maps a host's last recorded load to the load
 	// value used in predictions (workload forecasting, §2.2.1). nil uses
-	// the recorded value directly.
+	// the recorded value directly. Applied per prediction, after any
+	// cache lookup, so stateful forecasters always see fresh calls.
 	Forecast func(host string, recorded float64) float64
+
+	// AvailabilityAware switches the Fig 5 walk from queued-load bumps to
+	// an estimated host-free timeline: each task takes the host(s)
+	// minimising earliest finish time (free time + predicted execution),
+	// and its finish pushes those hosts' free times out. Off by default —
+	// the paper-faithful mode is the ablation baseline.
+	AvailabilityAware bool
+
+	// Ledger, when non-nil and AvailabilityAware is set, seeds each
+	// walk's host timeline with the cross-application busy seconds other
+	// schedules have reserved, so even a single-site batch offers later
+	// applications different hosts. Installed by SiteScheduler's
+	// availability propagation; reservations themselves are made by the
+	// site-level walk, never here.
+	Ledger *LoadLedger
 
 	// Priority orders the task queue for the Fig 5 walk; nil uses the
 	// paper's level rule (ByLevel). Because each assignment bumps its
@@ -143,10 +159,10 @@ type LocalSelector struct {
 func (s *LocalSelector) SiteName() string { return s.Site }
 
 // SelectHosts implements HostSelector (the paper's Fig 5 loop). The task
-// queue is walked in level-priority order and each assignment adds one load
-// unit to its chosen host(s) for subsequent predictions — Fig 5's "assign
-// task_i to the resource R_j" step updates the selector's own view, so a
-// wide application does not dog-pile the single best machine.
+// queue is walked in level-priority order and each assignment updates the
+// selector's own view of its chosen host(s) — one queued-load unit in the
+// paper-faithful mode, an estimated host-free time in availability-aware
+// mode — so a wide application does not dog-pile the single best machine.
 func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error) {
 	// Generation snapshot BEFORE the repository read: a monitor update
 	// landing between List() and a Store() bumps the generation past the
@@ -164,16 +180,24 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 	if prio == nil {
 		prio = ByLevel
 	}
-	queued := make(map[string]float64)
+	queued := make(map[string]float64) // paper mode: placed tasks per host
+	freeAt := make(map[string]float64) // availability mode: est host-free times
+	if s.AvailabilityAware && s.Ledger != nil {
+		freeAt = s.Ledger.Snapshot()
+	}
 	out := make(map[afg.TaskID]Choice, g.Len())
 	for _, id := range prio(g.TaskIDs(), levels) {
 		task := g.Task(id)
-		choice, err := s.selectFor(task, resources, queued, gens)
+		choice, finish, err := s.selectFor(task, resources, queued, freeAt, gens)
 		if err != nil {
 			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, err)
 		}
 		for _, h := range choice.Hosts {
-			queued[h]++
+			if s.AvailabilityAware {
+				freeAt[h] = finish
+			} else {
+				queued[h]++
+			}
 		}
 		out[id] = choice
 	}
@@ -181,13 +205,17 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 }
 
 // selectFor evaluates Predict(task, R) for every eligible resource and
-// returns the minimiser. Parallel tasks select task.Processors machines
-// (the paper's "the host selection algorithm is updated to select the
-// number of machines required within the site").
-func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued map[string]float64, gens map[string]uint64) (Choice, error) {
+// returns the minimiser — of the prediction alone in the paper-faithful
+// mode, of the earliest finish time (host free time + prediction) in
+// availability-aware mode — plus the estimated finish of the choice.
+// Parallel tasks select task.Processors machines (the paper's "the host
+// selection algorithm is updated to select the number of machines required
+// within the site").
+func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued, freeAt map[string]float64, gens map[string]uint64) (Choice, float64, error) {
 	type scored struct {
 		host string
-		pred float64
+		pred float64 // predicted execution seconds
+		key  float64 // ranking key (finish time in availability mode)
 	}
 	var cands []scored
 	for _, r := range resources {
@@ -200,14 +228,20 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		if !s.Repo.Constraints.CanRun(task.Function, r.Static.HostName) {
 			continue
 		}
-		cands = append(cands, scored{r.Static.HostName, s.predictOn(task, r, queued[r.Static.HostName], gens)})
+		host := r.Static.HostName
+		pred := s.predictOn(task, r, queued[host], gens)
+		key := pred
+		if s.AvailabilityAware {
+			key = freeAt[host] + pred
+		}
+		cands = append(cands, scored{host, pred, key})
 	}
 	if len(cands) == 0 {
-		return Choice{}, ErrNoEligibleHost
+		return Choice{}, 0, ErrNoEligibleHost
 	}
 	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].pred != cands[j].pred {
-			return cands[i].pred < cands[j].pred
+		if cands[i].key != cands[j].key {
+			return cands[i].key < cands[j].key
 		}
 		return cands[i].host < cands[j].host
 	})
@@ -219,35 +253,48 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		n = len(cands)
 	}
 	hosts := make([]string, n)
+	var maxPred, start float64
 	for i := 0; i < n; i++ {
 		hosts[i] = cands[i].host
+		if cands[i].pred > maxPred {
+			maxPred = cands[i].pred
+		}
+		if f := freeAt[cands[i].host]; f > start {
+			start = f
+		}
 	}
 	// Parallel-mode prediction: the slowest selected machine bounds each
 	// share; an ideal row split divides the work n ways.
-	pred := cands[n-1].pred / float64(n)
-	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, nil
+	pred := maxPred / float64(n)
+	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, nil
 }
 
 // predictOn evaluates the prediction function for one task on one resource;
 // queuedLoad is the load contribution of tasks this selector already placed
 // on the resource during the current SelectHosts walk. gens is the cache
-// generation snapshot taken at walk start (nil when caching is off).
+// generation snapshot taken at walk start (nil when caching is off). The
+// cache stores raw recorded loads; Forecast is applied here, per call, so
+// memoized entries never bake in a store-time forecast value.
 func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, queuedLoad float64, gens map[string]uint64) float64 {
+	var in predict.Inputs
 	if s.Cache == nil {
-		in := s.assembleInputs(task, r)
-		in.CPULoad += queuedLoad
-		return predict.Seconds(in)
-	}
-	key := predict.CacheKey{
-		Kind:     task.Function,
-		Cost:     task.ComputeCost,
-		MemReq:   task.MemReq,
-		Resource: r.Static.HostName,
-	}
-	in, ok := s.Cache.Lookup(key)
-	if !ok {
 		in = s.assembleInputs(task, r)
-		s.Cache.Store(key, in, gens[key.Resource])
+	} else {
+		key := predict.CacheKey{
+			Kind:     task.Function,
+			Cost:     task.ComputeCost,
+			MemReq:   task.MemReq,
+			Resource: r.Static.HostName,
+		}
+		var ok bool
+		in, ok = s.Cache.Lookup(key)
+		if !ok {
+			in = s.assembleInputs(task, r)
+			s.Cache.Store(key, in, gens[key.Resource])
+		}
+	}
+	if s.Forecast != nil {
+		in.CPULoad = s.Forecast(r.Static.HostName, in.CPULoad)
 	}
 	in.CPULoad += queuedLoad
 	return predict.Seconds(in)
@@ -255,8 +302,9 @@ func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, q
 
 // assembleInputs gathers the prediction parameters for one (task, resource)
 // pair from the task- and resource-performance databases — the per-pair
-// repository work the prediction cache memoizes. The queued-load term is
-// deliberately excluded: it is walk-local state, added by the caller.
+// repository work the prediction cache memoizes. The queued-load and
+// Forecast terms are deliberately excluded: both are per-evaluation state,
+// applied by predictOn after any cache lookup.
 func (s *LocalSelector) assembleInputs(task *afg.Task, r repository.ResourceRecord) predict.Inputs {
 	base := task.ComputeCost
 	memReq := task.MemReq
@@ -275,16 +323,12 @@ func (s *LocalSelector) assembleInputs(task *afg.Task, r repository.ResourceReco
 	if !haveWeight {
 		weight = predict.WeightFromSpeed(r.Static.SpeedFactor)
 	}
-	load := r.Dynamic.Load
-	if s.Forecast != nil {
-		load = s.Forecast(r.Static.HostName, load)
-	}
 	return predict.Inputs{
 		BaseTime: base,
 		Weight:   weight,
 		MemReq:   memReq,
 		MemAvail: r.Dynamic.AvailableMemory,
-		CPULoad:  load,
+		CPULoad:  r.Dynamic.Load, // raw recorded load; Forecast applies at lookup
 	}
 }
 

@@ -23,8 +23,21 @@ type TimeModel func(task *afg.Task, host string) float64
 //     assigned host is free;
 //   - each host executes one task at a time (the paper's hosts are single
 //     workstations; parallel tasks occupy all their hosts);
-//   - transfer between tasks on the same host is free, same site pays the
-//     LAN cost, cross-site pays the WAN cost.
+//   - transfer between tasks sharing a host is free — parallel tasks
+//     compare their full host sets, not just the primary — same site pays
+//     the LAN cost, cross-site pays the WAN cost;
+//   - among the tasks whose parents have finished, the one with the
+//     earliest possible start runs next (ties broken by task id).
+//
+// The simulator is incremental: a ready-tracker derived from the graph
+// feeds a min-heap of candidate starts, and a completion only recomputes
+// the starts of tasks it actually unblocks (children gaining their last
+// parent, plus heap entries made stale by the host timeline moving).
+// Start times only ever move later, so a popped candidate whose start is
+// stale is re-pushed with its current value — the classic lazy-update
+// event queue. Total work is O((V+E)·log V) plus one re-push per
+// (completion, co-hosted ready task) pair, versus the former full
+// ready-set rebuild each iteration, O(V²·log V).
 func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (float64, error) {
 	if err := g.Validate(); err != nil {
 		return 0, err
@@ -33,77 +46,62 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 	if err != nil {
 		return 0, err
 	}
-	hostFree := map[string]float64{}   // host -> time it becomes free
-	finish := map[afg.TaskID]float64{} // task -> finish time
-
-	// Process tasks in an earliest-start-first event order: repeatedly pick
-	// the schedulable task (all parents done) with the earliest possible
-	// start. A simple priority queue over candidate starts suffices
-	// because starts only move later, never earlier.
-	pending := map[afg.TaskID]bool{}
-	for _, id := range order {
-		pending[id] = true
+	n := len(order)
+	idx := make(map[afg.TaskID]int, n)
+	for i, id := range order {
+		idx[id] = i
 	}
-	ready := func(id afg.TaskID) bool {
-		for _, l := range g.Parents(id) {
-			if _, ok := finish[l.From]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-	startTime := func(id afg.TaskID) (float64, error) {
+	assigns := make([]Assignment, n)
+	hostsOf := make([][]string, n)
+	for i, id := range order {
 		a, ok := table.Get(id)
 		if !ok {
 			return 0, fmt.Errorf("scheduler: task %q missing from allocation table", id)
 		}
-		var earliest float64
-		for _, l := range g.Parents(id) {
-			p, _ := table.Get(l.From)
-			arrive := finish[l.From]
-			if net != nil && p.Host != a.Host {
-				arrive += net.TransferTime(p.Site, a.Site, transferBytes(g, l)).Seconds()
-			}
-			earliest = math.Max(earliest, arrive)
+		assigns[i] = a
+		hostsOf[i] = effectiveHosts(a)
+	}
+
+	hostFree := map[string]float64{} // host -> time it becomes free
+	pendingParents := make([]int, n) // unfinished-parent counts
+	dataReady := make([]float64, n)  // max over finished parents of arrival time
+
+	// startOf is the earliest time task i can begin given the current host
+	// timeline. Valid only once all parents have finished (dataReady final).
+	startOf := func(i int) float64 {
+		st := dataReady[i]
+		for _, h := range hostsOf[i] {
+			st = math.Max(st, hostFree[h])
 		}
-		hosts := a.Hosts
-		if len(hosts) == 0 {
-			hosts = []string{a.Host}
+		return st
+	}
+
+	var q pq
+	for i, id := range order {
+		pendingParents[i] = len(g.Parents(id))
+		if pendingParents[i] == 0 {
+			heap.Push(&q, pqItem{id: id, i: i, start: 0})
 		}
-		for _, h := range hosts {
-			earliest = math.Max(earliest, hostFree[h])
-		}
-		return earliest, nil
 	}
 
 	var makespan float64
-	for len(pending) > 0 {
-		// Collect schedulable tasks.
-		var q pq
-		heap.Init(&q)
-		for _, id := range order {
-			if pending[id] && ready(id) {
-				st, err := startTime(id)
-				if err != nil {
-					return 0, err
-				}
-				heap.Push(&q, pqItem{id: id, start: st})
-			}
-		}
-		if q.Len() == 0 {
-			return 0, fmt.Errorf("scheduler: simulation deadlock with %d tasks pending", len(pending))
-		}
+	completed := 0
+	for q.Len() > 0 {
 		it := heap.Pop(&q).(pqItem)
-		a, _ := table.Get(it.id)
+		if cur := startOf(it.i); cur > it.start {
+			// A completion since this entry was pushed moved one of the
+			// task's hosts further out; re-queue at the current start.
+			it.start = cur
+			heap.Push(&q, it)
+			continue
+		}
+		a := assigns[it.i]
 		dur := model(g.Task(it.id), a.Host)
 		if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
 			return 0, fmt.Errorf("scheduler: invalid duration %v for task %q", dur, it.id)
 		}
 		// Parallel tasks run across all hosts for duration/#hosts.
-		hosts := a.Hosts
-		if len(hosts) == 0 {
-			hosts = []string{a.Host}
-		}
+		hosts := hostsOf[it.i]
 		if len(hosts) > 1 {
 			dur /= float64(len(hosts))
 		}
@@ -111,22 +109,41 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		for _, h := range hosts {
 			hostFree[h] = end
 		}
-		finish[it.id] = end
-		delete(pending, it.id)
+		completed++
 		makespan = math.Max(makespan, end)
+
+		// Completion unblocks children: fold this task's finish (plus any
+		// transfer) into each child's data-ready time; a child losing its
+		// last pending parent enters the candidate heap.
+		for _, l := range g.Children(it.id) {
+			ci := idx[l.To]
+			arrive := end
+			if net != nil && !sharesHost(hostsOf[it.i], hostsOf[ci]) {
+				arrive += net.TransferTime(a.Site, assigns[ci].Site, transferBytes(g, l)).Seconds()
+			}
+			dataReady[ci] = math.Max(dataReady[ci], arrive)
+			pendingParents[ci]--
+			if pendingParents[ci] == 0 {
+				heap.Push(&q, pqItem{id: l.To, i: ci, start: startOf(ci)})
+			}
+		}
+	}
+	if completed != n {
+		return 0, fmt.Errorf("scheduler: simulation deadlock with %d tasks pending", n-completed)
 	}
 	return makespan, nil
 }
 
 // CommVolume sums the modelled inter-host communication time of a table —
 // the quantity the paper's co-location argument minimises ("to decrease the
-// inter-task communication time").
+// inter-task communication time"). A link between tasks sharing any host
+// (parallel tasks occupy several) moves no data and costs nothing.
 func CommVolume(g *afg.Graph, table *AllocationTable, net *netsim.Network) float64 {
 	var total float64
 	for _, l := range g.Links() {
 		from, ok1 := table.Get(l.From)
 		to, ok2 := table.Get(l.To)
-		if !ok1 || !ok2 || from.Host == to.Host || net == nil {
+		if !ok1 || !ok2 || net == nil || sharesHost(effectiveHosts(from), effectiveHosts(to)) {
 			continue
 		}
 		total += net.TransferTime(from.Site, to.Site, transferBytes(g, l)).Seconds()
@@ -134,9 +151,33 @@ func CommVolume(g *afg.Graph, table *AllocationTable, net *netsim.Network) float
 	return total
 }
 
+// effectiveHosts returns the hosts an assignment occupies: the parallel
+// host set when present, else the single primary host.
+func effectiveHosts(a Assignment) []string {
+	if len(a.Hosts) > 0 {
+		return a.Hosts
+	}
+	return []string{a.Host}
+}
+
+// sharesHost reports whether two host sets intersect. Host sets are tiny
+// (the paper's parallel tasks span a few workstations), so the quadratic
+// scan beats building a map.
+func sharesHost(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // pq is a min-heap of candidate task starts.
 type pqItem struct {
 	id    afg.TaskID
+	i     int // topological index into the simulator's task arrays
 	start float64
 }
 

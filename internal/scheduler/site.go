@@ -34,6 +34,25 @@ type SiteScheduler struct {
 	// it is the Fig 4 ablation (site choice by prediction only).
 	TransferAware bool
 
+	// AvailabilityAware replaces step 7's predicted+transfer objective
+	// with earliest finish time: the walk tracks an estimated free-time
+	// timeline for every host across all sites and places each task on
+	// the site/host set minimising
+	//
+	//	max(parent finishes + transfer, host free, ledger wait) + predicted.
+	//
+	// Off by default — the paper-faithful Fig 4 walk is the ablation
+	// baseline the evaluation compares against.
+	AvailabilityAware bool
+
+	// Ledger, when non-nil, is the shared cross-application load ledger
+	// consulted and updated by the availability-aware walk: placements
+	// from concurrent Schedule calls (scheduler.Batch) reserve predicted
+	// busy seconds per host, so applications scheduled in the same batch
+	// spread around each other instead of dog-piling the fastest
+	// machines. Ignored when AvailabilityAware is off.
+	Ledger *LoadLedger
+
 	// Priority orders the ready set each step; nil means the paper's
 	// level rule (ByLevel). FIFOPriority is the ablation alternative.
 	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
@@ -81,6 +100,10 @@ func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 		return nil, err
 	}
 
+	if s.AvailabilityAware {
+		return s.scheduleAvailabilityAware(g, results, levels)
+	}
+
 	table := NewAllocationTable(g.Name)
 
 	// Steps 6–7: ready-set walk in level-priority order.
@@ -95,7 +118,6 @@ func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
 		}
 		id := ready[0]
-		task := g.Task(id)
 
 		best := Choice{Predicted: math.Inf(1)}
 		bestTotal := math.Inf(1)
@@ -123,10 +145,123 @@ func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
 			Hosts:     best.Hosts,
 			Predicted: best.Predicted,
 		})
-		_ = task
 		tracker.Complete(id)
 	}
 	return table, nil
+}
+
+// scheduleAvailabilityAware is the earliest-finish-time variant of steps
+// 6–7: the ready-set walk keeps an estimated free-time timeline for every
+// host it has placed work on (seeded, per evaluation, with the shared
+// ledger's cross-application reservations) and an estimated finish time
+// per scheduled task, and sends each task to the site/host set whose
+// estimated finish — parents' data arrival plus queueing wait plus
+// predicted execution — is smallest.
+func (s *SiteScheduler) scheduleAvailabilityAware(g *afg.Graph, results []siteResult, levels map[afg.TaskID]float64) (*AllocationTable, error) {
+	table := NewAllocationTable(g.Name)
+	prio := s.Priority
+	if prio == nil {
+		prio = ByLevel
+	}
+	estFinish := make(map[afg.TaskID]float64, g.Len())
+	hostFree := map[string]float64{} // this walk's own host timeline
+	own := map[string]float64{}      // busy seconds this walk reserved in the ledger
+	// freeAt folds the ledger's view of OTHER applications' in-flight work
+	// into this walk's own timeline. Queried live, per evaluation, so a
+	// placement made by a concurrent Schedule goroutine moves this walk
+	// off the host it just claimed.
+	freeAt := func(h string) float64 {
+		f := hostFree[h]
+		if s.Ledger != nil {
+			if other := s.Ledger.Busy(h) - own[h]; other > f {
+				f = other
+			}
+		}
+		return f
+	}
+	releaseOwn := func() {
+		if s.Ledger == nil {
+			return
+		}
+		for h, sec := range own {
+			s.Ledger.Release(h, sec)
+		}
+	}
+
+	tracker := afg.NewTracker(g)
+	for !tracker.AllDone() {
+		ready := prio(tracker.Ready(), levels)
+		if len(ready) == 0 {
+			releaseOwn()
+			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+		}
+		id := ready[0]
+
+		var best Choice
+		var bestHosts []string
+		bestFinish := math.Inf(1)
+		found := false
+		for _, sr := range results {
+			choice, ok := sr.choices[id]
+			if !ok {
+				continue
+			}
+			hosts := effectiveHosts(Assignment{Host: choice.Host, Hosts: choice.Hosts})
+			// Data arrival: every scheduled parent's estimated finish,
+			// plus the site-to-site transfer unless a host is shared.
+			start := 0.0
+			for _, l := range g.Parents(id) {
+				arrive := estFinish[l.From]
+				if s.Net != nil {
+					if p, ok := table.Get(l.From); ok {
+						if bytes := transferBytes(g, l); bytes > 0 && !sharesHost(effectiveHosts(p), hosts) {
+							arrive += s.Net.TransferTime(p.Site, sr.name, bytes).Seconds()
+						}
+					}
+				}
+				start = math.Max(start, arrive)
+			}
+			for _, h := range hosts {
+				start = math.Max(start, freeAt(h))
+			}
+			finish := start + choice.Predicted
+			if finish < bestFinish || (finish == bestFinish && sr.name < best.Site) {
+				best, bestHosts, bestFinish, found = choice, hosts, finish, true
+			}
+		}
+		if !found {
+			releaseOwn()
+			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+		}
+		table.Set(Assignment{
+			Task:      id,
+			Site:      best.Site,
+			Host:      best.Host,
+			Hosts:     best.Hosts,
+			Predicted: best.Predicted,
+		})
+		estFinish[id] = bestFinish
+		for _, h := range bestHosts {
+			hostFree[h] = bestFinish
+			if s.Ledger != nil {
+				s.Ledger.Reserve(h, best.Predicted)
+				own[h] += best.Predicted
+			}
+		}
+		tracker.Complete(id)
+	}
+	return table, nil
+}
+
+// WithLedger returns a copy of the scheduler wired to the shared
+// cross-application ledger (and availability-aware placement, which the
+// ledger requires). scheduler.Batch uses it to thread one ledger through
+// every concurrent Schedule call.
+func (s *SiteScheduler) WithLedger(l *LoadLedger) *SiteScheduler {
+	c := *s
+	c.Ledger = l
+	c.AvailabilityAware = true
+	return &c
 }
 
 // siteResult is one site's contribution to steps 4–5.
@@ -138,7 +273,30 @@ type siteResult struct {
 // collectSelections runs the Host Selection Algorithm on every selector —
 // serially when Concurrency is 1, otherwise through a bounded worker pool —
 // and merges the successful results deterministically by site name.
+//
+// Availability-aware scheduling is propagated into in-process selectors:
+// the EFT walk prices queueing itself, so the per-site walks must report
+// pure predictions (a queued-load-bumped prediction would double-count the
+// wait). Remote sites decide their own mode — the RPC selector cannot see
+// this scheduler's flag — which only perturbs which host a remote site
+// offers, not the EFT accounting.
 func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector) []siteResult {
+	if s.AvailabilityAware {
+		propagated := make([]HostSelector, len(selectors))
+		for i, sel := range selectors {
+			if ls, ok := sel.(*LocalSelector); ok {
+				c := *ls
+				c.AvailabilityAware = true
+				if c.Ledger == nil {
+					c.Ledger = s.Ledger
+				}
+				propagated[i] = &c
+			} else {
+				propagated[i] = sel
+			}
+		}
+		selectors = propagated
+	}
 	gathered := make([]siteResult, len(selectors))
 	if s.Concurrency == 1 || len(selectors) == 1 {
 		for i, sel := range selectors {

@@ -1,9 +1,13 @@
 package site
 
 import (
+	"fmt"
 	"net/rpc"
 	"testing"
 
+	"repro/internal/afg"
+	"repro/internal/netsim"
+	"repro/internal/resource"
 	"repro/internal/workload"
 )
 
@@ -57,5 +61,61 @@ func TestScheduleBatchOverRPC(t *testing.T) {
 	// (gob delivers the nil table slot as an empty map)
 	if reply.Errs[3] == "" || len(reply.Tables[3]) != 0 {
 		t.Fatalf("malformed item: errs=%q tables=%v", reply.Errs[3], reply.Tables[3])
+	}
+}
+
+// TestScheduleBatchOverRPCWithLedger drives the batch endpoint with the
+// availability-aware + shared-ledger options: every graph must still
+// schedule completely, and the ledger must actually steer the batch —
+// identical single-task applications may not all land on the same host.
+// The site runs serial batch workers so each application deterministically
+// sees the previous applications' reservations (with concurrent workers
+// the walks could all snapshot the ledger before any reservation lands).
+func TestScheduleBatchOverRPCWithLedger(t *testing.T) {
+	pool := resource.GenerateSite("syracuse", 4, 4, 31)
+	m, err := NewManager("syracuse", pool, netsim.NYNET(0.0001), nil,
+		Config{GroupSize: 3, SchedulerConcurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.TickMonitors()
+	addr, stop, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	args := BatchArgs{AvailabilityAware: true, SharedLedger: true}
+	for i := 0; i < 4; i++ {
+		g := afg.New(fmt.Sprintf("single%d", i))
+		g.AddTask(&afg.Task{ID: "t", Function: "synthetic.noop", ComputeCost: 5})
+		raw, err := g.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		args.AFGs = append(args.AFGs, raw)
+	}
+	var reply BatchReply
+	if err := client.Call("Site.ScheduleBatch", args, &reply); err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]bool{}
+	for i := range args.AFGs {
+		if reply.Errs[i] != "" {
+			t.Fatalf("item %d errored: %s", i, reply.Errs[i])
+		}
+		a, ok := reply.Tables[i]["t"]
+		if !ok {
+			t.Fatalf("item %d missing assignment", i)
+		}
+		hosts[a.Host] = true
+	}
+	if len(hosts) < 2 {
+		t.Fatalf("shared ledger over RPC did not spread identical apps: %v", hosts)
 	}
 }

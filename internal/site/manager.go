@@ -37,6 +37,22 @@ type Config struct {
 	// pool and the batch endpoint's per-application workers
 	// (0 = GOMAXPROCS, 1 = serial).
 	SchedulerConcurrency int
+	// AvailabilityAware makes this site's schedulers place by earliest
+	// finish time (predicted + transfer + host wait) instead of the
+	// paper-faithful predicted + transfer objective.
+	AvailabilityAware bool
+}
+
+// BatchOptions tunes one ScheduleBatchOpts call; the zero value follows
+// the site Config.
+type BatchOptions struct {
+	// AvailabilityAware forces earliest-finish-time placement for this
+	// batch even if the site default is paper-faithful.
+	AvailabilityAware bool
+	// SharedLedger threads one cross-application load ledger through the
+	// batch (implies availability-aware placement): the batch's graphs
+	// see each other's in-flight placements and spread accordingly.
+	SharedLedger bool
 }
 
 // Manager is one VDCE site.
@@ -218,26 +234,42 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 }
 
 // SiteScheduler builds this site's distributed Site Scheduler over the given
-// remote selectors, with the configured fan-out concurrency.
+// remote selectors, with the configured fan-out concurrency and placement
+// mode.
 func (m *Manager) SiteScheduler(remotes []scheduler.HostSelector) *scheduler.SiteScheduler {
 	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
 	sched.Concurrency = m.cfg.SchedulerConcurrency
+	sched.AvailabilityAware = m.cfg.AvailabilityAware
 	return sched
 }
 
 // ScheduleBatch schedules many applications concurrently against this site
 // (plus the given remote selectors), sharing the repository and prediction
-// cache across all of them. Results come back in input order.
+// cache across all of them, with the site's default batch options. Results
+// come back in input order.
+func (m *Manager) ScheduleBatch(graphs []*afg.Graph, remotes []scheduler.HostSelector) []scheduler.BatchItem {
+	return m.ScheduleBatchOpts(graphs, remotes, BatchOptions{})
+}
+
+// ScheduleBatchOpts is ScheduleBatch with per-call options (the
+// Site.ScheduleBatch RPC surfaces them to clients).
 // SchedulerConcurrency is one budget, not two: with several graphs in
 // flight it bounds the batch workers and each schedule fans out serially;
 // a single graph gets the whole budget as fan-out instead. Without this,
 // the effective parallelism would be the square of the configured bound.
-func (m *Manager) ScheduleBatch(graphs []*afg.Graph, remotes []scheduler.HostSelector) []scheduler.BatchItem {
+func (m *Manager) ScheduleBatchOpts(graphs []*afg.Graph, remotes []scheduler.HostSelector, opts BatchOptions) []scheduler.BatchItem {
 	sched := m.SiteScheduler(remotes)
 	if len(graphs) > 1 {
 		sched.Concurrency = 1
 	}
-	return scheduler.ScheduleBatch(sched, graphs, m.cfg.SchedulerConcurrency)
+	if opts.AvailabilityAware {
+		sched.AvailabilityAware = true
+	}
+	b := &scheduler.Batch{Scheduler: sched, Workers: m.cfg.SchedulerConcurrency}
+	if opts.SharedLedger {
+		b.Ledger = scheduler.NewLoadLedger()
+	}
+	return b.Schedule(graphs)
 }
 
 // ExecuteLocal schedules (against this site only, plus the given remote

@@ -54,8 +54,14 @@ func (s *Service) SelectHosts(args SelectArgs, reply *SelectReply) error {
 
 // BatchArgs carries many JSON-encoded application flow graphs for
 // concurrent scheduling against this site and its configured peers.
+// AvailabilityAware requests earliest-finish-time placement (a false
+// value defers to the site's configured default); SharedLedger threads a
+// cross-application load ledger through the batch so its graphs spread
+// around each other's in-flight placements.
 type BatchArgs struct {
-	AFGs [][]byte
+	AFGs              [][]byte
+	AvailabilityAware bool
+	SharedLedger      bool
 }
 
 // BatchReply returns one allocation table (or error string) per input AFG,
@@ -89,7 +95,11 @@ func (s *Service) ScheduleBatch(args BatchArgs, reply *BatchReply) error {
 	for _, p := range s.peers {
 		remotes = append(remotes, p)
 	}
-	for j, it := range s.m.ScheduleBatch(graphs, remotes) {
+	opts := BatchOptions{
+		AvailabilityAware: args.AvailabilityAware,
+		SharedLedger:      args.SharedLedger,
+	}
+	for j, it := range s.m.ScheduleBatchOpts(graphs, remotes, opts) {
 		i := indices[j]
 		if it.Err != nil {
 			reply.Errs[i] = it.Err.Error()
