@@ -100,3 +100,11 @@ func BenchmarkScaleScheduling(b *testing.B) {
 func BenchmarkLedgerScheduling(b *testing.B) {
 	runExperiment(b, experiments.AvailabilityScheduling)
 }
+
+// BenchmarkPolicyComparison — every registered scheduling policy (faithful,
+// eft, ledger, heft, cpop, and the naive baselines) scored by combined
+// simulated makespan on the 6×1000-task / 32-site workload. Headline
+// metrics are makespan_<policy> plus faithful_over_{heft,cpop}.
+func BenchmarkPolicyComparison(b *testing.B) {
+	runExperiment(b, experiments.PolicyComparison)
+}

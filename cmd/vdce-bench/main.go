@@ -31,17 +31,29 @@ var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
 	"TAB-SCHED": experiments.ScheduleQuality,
 	"SCALE":     experiments.ScaleScheduling,
 	"LEDGER":    experiments.AvailabilityScheduling,
+	"POLICY":    experiments.PolicyComparison,
 }
 
 var experimentOrder = []string{
-	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER",
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER", "POLICY",
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	policies := flag.String("policies", "", "restrict the POLICY experiment to these comma-separated scheduling policies (empty = all registered)")
 	flag.Parse()
+
+	if *policies != "" {
+		var names []string
+		for _, n := range strings.Split(*policies, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+		experimentFuncs["POLICY"] = func(seed int64) (*experiments.Result, error) {
+			return experiments.PolicyComparisonFor(seed, names)
+		}
+	}
 
 	ids := experimentOrder
 	if *exp != "all" {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/repository"
 	"repro/internal/resource"
+	"repro/internal/scheduler"
 	"repro/internal/site"
 )
 
@@ -40,9 +41,15 @@ func main() {
 	threshold := flag.Float64("load-threshold", 0, "QoS load threshold (0 = disabled)")
 	repoPath := flag.String("repo", "", "site repository file: loaded at startup if present, saved on shutdown")
 	schedWorkers := flag.Int("sched-workers", 0, "scheduling concurrency: site fan-out and batch workers (0 = GOMAXPROCS, 1 = serial)")
-	availAware := flag.Bool("avail-aware", false, "place tasks by earliest finish time (predicted + transfer + host wait) instead of the paper-faithful objective")
+	availAware := flag.Bool("avail-aware", false, "deprecated alias for -policy eft")
+	policy := flag.String("policy", "", fmt.Sprintf("default scheduling policy (one of: %s; empty = faithful, or eft with -avail-aware)", strings.Join(scheduler.Policies(), ", ")))
 	flag.Parse()
 
+	if *policy != "" {
+		if _, err := scheduler.Lookup(*policy); err != nil {
+			log.Fatalf("vdce-server: %v", err)
+		}
+	}
 	pool := resource.GenerateSite(*siteName, *hosts, *spread, *seed)
 	net := netsim.NYNET(0.001)
 	m, err := site.NewManager(*siteName, pool, net, nil, site.Config{
@@ -50,6 +57,7 @@ func main() {
 		LoadThreshold:        *threshold,
 		SchedulerConcurrency: *schedWorkers,
 		AvailabilityAware:    *availAware,
+		Policy:               *policy,
 	})
 	if err != nil {
 		log.Fatalf("vdce-server: %v", err)

@@ -26,6 +26,7 @@ func main() {
 	n := flag.Int("n", 128, "problem size (matrix n / signal length / samples)")
 	seed := flag.Int("seed", 1, "workload seed")
 	parallel := flag.Bool("parallel", false, "run the LU task in parallel mode")
+	policy := flag.String("policy", "", "scheduling policy by name (heft, cpop, eft, faithful, ...; empty = server default)")
 	flag.Parse()
 
 	var data []byte
@@ -66,7 +67,7 @@ func main() {
 	defer client.Close()
 
 	var reply site.SubmitReply
-	if err := client.Call("Site.Submit", site.SubmitArgs{AFG: data}, &reply); err != nil {
+	if err := client.Call("Site.Submit", site.SubmitArgs{AFG: data, Policy: *policy}, &reply); err != nil {
 		log.Fatalf("vdce-submit: %v", err)
 	}
 

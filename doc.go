@@ -7,16 +7,22 @@
 // repositories, resource monitoring, a WAN model) and an evaluation harness
 // reproducing every figure in the paper.
 //
-// Beyond the paper, the scheduler offers availability-aware placement —
-// earliest-finish-time site/host selection over estimated host-free
-// timelines, with a shared cross-application load ledger so concurrently
-// scheduled applications spread around each other's in-flight placements —
-// and an incremental event-driven makespan simulator (near-linear in
-// tasks and links on realistic allocations) that scores allocation
-// tables at scale. Both are opt-in; the paper-faithful
-// algorithms remain the defaults and the evaluation baselines.
+// Scheduling is organised around a pluggable policy API: every heuristic
+// implements scheduler.Policy (Name + Schedule(ctx, *Request)) and
+// registers by name, so algorithms are selected as data end to end — the
+// Site.ScheduleBatch RPC, vdce-server -policy, vdce-submit -policy, and
+// the experiments harness all take a policy name. Registered policies:
+// the paper-faithful Site Scheduler ("faithful"), its earliest-finish-time
+// variants ("eft", "ledger" — the latter with a shared cross-application
+// load ledger), the HEFT and CPOP list-scheduling heuristics of Topcuoglu
+// et al. ("heft", "cpop"), and the naive baselines ("random", "roundrobin",
+// "minload", "fastest"). experiments.PolicyComparison scores them all by
+// combined simulated makespan on one workload, and an incremental
+// event-driven simulator (near-linear in tasks and links on realistic
+// allocations) does the scoring at scale. The paper-faithful algorithm
+// remains the default policy and the evaluation baseline.
 //
-// See README.md for the architecture overview, the per-experiment index,
-// and how to run the benchmarks. The root-level bench_test.go wraps each
-// experiment in a testing.B benchmark.
+// See README.md for the architecture overview, the policy table, the
+// per-experiment index, and how to run the benchmarks. The root-level
+// bench_test.go wraps each experiment in a testing.B benchmark.
 package repro

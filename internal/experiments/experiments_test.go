@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"math"
 	"testing"
+
+	"repro/internal/scheduler"
 )
 
 // Each experiment must run, produce a non-empty series, and support the
@@ -205,6 +208,55 @@ func TestLedgerBeatsLedgerFreeBatch(t *testing.T) {
 	}
 }
 
+func TestPolicyComparisonCoversRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6×1000-task batches per registered policy in short mode")
+	}
+	r, err := PolicyComparison(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := scheduler.Policies()
+	if len(r.Series.Rows) != len(names) {
+		t.Fatalf("rows = %d, want one per registered policy (%d)", len(r.Series.Rows), len(names))
+	}
+	for _, name := range names {
+		mk, ok := r.Metrics["makespan_"+name]
+		if !ok {
+			t.Fatalf("no makespan metric for registered policy %q", name)
+		}
+		if mk <= 0 || math.IsInf(mk, 0) || math.IsNaN(mk) {
+			t.Fatalf("policy %q: bad combined makespan %v", name, mk)
+		}
+	}
+	// The paper's headline heuristics must beat the contention-blind
+	// faithful batch on combined makespan — that is their whole pitch.
+	faithful := r.Metrics["makespan_faithful"]
+	for _, h := range []string{"heft", "cpop"} {
+		if r.Metrics["makespan_"+h] >= faithful {
+			t.Fatalf("%s (%v) did not beat the faithful batch (%v)", h, r.Metrics["makespan_"+h], faithful)
+		}
+	}
+}
+
+// TestPolicyComparisonForSubset exercises the restricted form vdce-bench's
+// -policies flag uses, on a cheap subset.
+func TestPolicyComparisonForSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-task batches in short mode")
+	}
+	r, err := PolicyComparisonFor(1, []string{"fastest", "minload"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Series.Rows))
+	}
+	if _, ok := r.Metrics["makespan_fastest"]; !ok {
+		t.Fatalf("missing subset metric: %v", r.Metrics)
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in short mode")
@@ -213,7 +265,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 11 {
+	if len(results) != 12 {
 		t.Fatalf("results = %d", len(results))
 	}
 	seen := map[string]bool{}

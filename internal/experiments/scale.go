@@ -46,13 +46,12 @@ func repoScaleSite(name string, hosts int, seed int64) *repository.Repository {
 	return repo
 }
 
-// scaleScheduler assembles the multi-site Site Scheduler over fresh
-// per-site repositories (returned by site name for truth-model building).
-// cached attaches a prediction cache to every selector; concurrency is the
-// fan-out worker bound (1 = the serial path).
-func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteScheduler, []*predict.Cache, map[string]*repository.Repository) {
-	var caches []*predict.Cache
-	repos := make(map[string]*repository.Repository, scaleSites)
+// scaleSelectors builds the SCALE workload's multi-site environment: one
+// LocalSelector per site over fresh (seed-deterministic) repositories,
+// returned with the repositories by site name for truth-model building.
+// cached attaches a prediction cache to every selector.
+func scaleSelectors(seed int64, cached bool) (local *scheduler.LocalSelector, remotes []scheduler.HostSelector, caches []*predict.Cache, repos map[string]*repository.Repository) {
+	repos = make(map[string]*repository.Repository, scaleSites)
 	selector := func(i int) *scheduler.LocalSelector {
 		name := fmt.Sprintf("site%02d", i)
 		repos[name] = repoScaleSite(name, scaleHostsPerSite, seed+int64(i))
@@ -63,11 +62,18 @@ func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteSc
 		}
 		return sel
 	}
-	local := selector(0)
-	var remotes []scheduler.HostSelector
+	local = selector(0)
 	for i := 1; i < scaleSites; i++ {
 		remotes = append(remotes, selector(i))
 	}
+	return local, remotes, caches, repos
+}
+
+// scaleScheduler assembles the multi-site Site Scheduler over the
+// scaleSelectors environment; concurrency is the fan-out worker bound
+// (1 = the serial path).
+func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteScheduler, []*predict.Cache, map[string]*repository.Repository) {
+	local, remotes, caches, repos := scaleSelectors(seed, cached)
 	s := scheduler.NewSiteScheduler(local, remotes, nil, 0)
 	s.Concurrency = concurrency
 	return s, caches, repos

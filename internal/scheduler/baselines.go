@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -173,4 +175,42 @@ func FIFOPriority(ids []afg.TaskID, _ map[afg.TaskID]float64) []afg.TaskID {
 	out := append([]afg.TaskID(nil), ids...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// baselinePolicy exposes the naive schedulers through the policy registry.
+// Host inventories come from the request's site repositories (the explicit
+// Sites map, or any in-process LocalSelector); remote-only deployments see
+// just the hosts their RPC peers expose locally. Each Schedule call builds
+// a fresh scheduler, so the round-robin cursor restarts per application and
+// the random policy is a pure function of Config.Seed.
+type baselinePolicy struct {
+	kind string
+}
+
+// Name implements Policy.
+func (b baselinePolicy) Name() string { return b.kind }
+
+// Schedule implements Policy.
+func (b baselinePolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sites := req.siteRepos()
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	var s Scheduler
+	switch b.kind {
+	case "random":
+		s = &RandomScheduler{Sites: sites, Seed: req.Config.Seed}
+	case "roundrobin":
+		s = &RoundRobinScheduler{Sites: sites}
+	case "minload":
+		s = &MinLoadScheduler{Sites: sites}
+	case "fastest":
+		s = &FastestHostScheduler{Sites: sites}
+	default:
+		return nil, fmt.Errorf("%w %q", ErrUnknownPolicy, b.kind)
+	}
+	return s.Schedule(req.Graph)
 }

@@ -34,15 +34,16 @@ type Batch struct {
 	// Workers bounds concurrent Schedule calls (0 = GOMAXPROCS, 1 =
 	// serial — the baseline the scale benchmark compares against).
 	Workers int
-	// Ledger, when non-nil and the Scheduler is a *SiteScheduler, is the
-	// shared cross-application load ledger threaded through every
-	// Schedule call (forcing availability-aware placement): each graph's
-	// walk sees the predicted busy time the batch's other graphs have
-	// already placed per host, so the batch spreads instead of every
-	// graph dog-piling the same machines. Note the resulting tables then
-	// depend on completion order when Workers > 1 — cross-application
-	// awareness trades away the ledger-free mode's worker-count
-	// invariance.
+	// Ledger, when non-nil and the Scheduler is a *SiteScheduler or a
+	// Bind-wrapped policy, is the shared cross-application load ledger
+	// threaded through every Schedule call (forcing availability-aware
+	// placement for the site policies; HEFT/CPOP seed their host
+	// timelines with it): each graph's walk sees the predicted busy time
+	// the batch's other graphs have already placed per host, so the
+	// batch spreads instead of every graph dog-piling the same machines.
+	// Note the resulting tables then depend on completion order when
+	// Workers > 1 — cross-application awareness trades away the
+	// ledger-free mode's worker-count invariance.
 	Ledger *LoadLedger
 }
 
@@ -53,9 +54,22 @@ func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
 		items[i].Graph = g
 	}
 	sched := b.Scheduler
-	if b.Ledger != nil {
-		if ss, ok := sched.(*SiteScheduler); ok {
-			sched = ss.WithLedger(b.Ledger)
+	ledger := b.Ledger
+	if ledger == nil {
+		// The "ledger" policy exists to share placements ACROSS a batch;
+		// without a caller-supplied ledger it would mint a private one per
+		// graph and degenerate to plain EFT, so the batch supplies the
+		// shared one itself.
+		if bp, ok := sched.(*boundPolicy); ok && bp.policy.Name() == "ledger" && bp.env.Config.Ledger == nil {
+			ledger = NewLoadLedger()
+		}
+	}
+	if ledger != nil {
+		switch s := sched.(type) {
+		case *SiteScheduler:
+			sched = s.WithLedger(ledger)
+		case *boundPolicy:
+			sched = s.withLedger(ledger)
 		}
 	}
 	workers := b.Workers

@@ -1,0 +1,638 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+)
+
+// The paper's two headline list-scheduling heuristics, as registered
+// policies:
+//
+//   - HEFT (Heterogeneous Earliest Finish Time): tasks ordered by upward
+//     rank — mean execution cost plus the most expensive (communication +
+//     rank) path to an exit — and placed one by one on the host minimising
+//     earliest finish time, with insertion: a task may slide into an idle
+//     gap between two already-scheduled tasks on the host.
+//   - CPOP (Critical Path On a Processor): tasks prioritised by upward +
+//     downward rank; the tasks forming the critical path are pinned to the
+//     single host minimising the path's total execution, everything else
+//     placed by earliest finish time.
+//
+// Both gather per-(task, host) costs through the HostCoster extension when
+// a site's selector supports it (every in-process LocalSelector does) and
+// fall back to the site's single best SelectHosts offer otherwise (RPC
+// remotes), and both charge inter-site communication through the netsim
+// transfer model.
+
+// collectCandidates gathers every site's per-task host offers — full
+// per-host cost vectors from HostCosters, the single best choice from plain
+// selectors — fanning out across Config.Concurrency workers and merging
+// deterministically in site-name order. A site that fails (a task it cannot
+// host) is dropped, mirroring the Site Scheduler's multicast semantics.
+func collectCandidates(g *afg.Graph, req *Request) (map[afg.TaskID][]Choice, error) {
+	if req.Local == nil {
+		return nil, ErrNoSites
+	}
+	selectors := append([]HostSelector{req.Local},
+		nearestSelectors(req.Local, req.Remotes, req.Net, req.Config.K)...)
+
+	perSite := make([]map[afg.TaskID][]Choice, len(selectors))
+	gather := func(i int, sel HostSelector) {
+		if hc, ok := sel.(HostCoster); ok {
+			if m, err := hc.HostCosts(g); err == nil {
+				perSite[i] = m
+			}
+			return
+		}
+		if m, err := sel.SelectHosts(g); err == nil {
+			cs := make(map[afg.TaskID][]Choice, len(m))
+			for id, c := range m {
+				cs[id] = []Choice{c}
+			}
+			perSite[i] = cs
+		}
+	}
+	workers := req.Config.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selectors) {
+		workers = len(selectors)
+	}
+	if workers <= 1 {
+		for i, sel := range selectors {
+			gather(i, sel)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, sel := range selectors {
+			wg.Add(1)
+			go func(i int, sel HostSelector) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				gather(i, sel)
+			}(i, sel)
+		}
+		wg.Wait()
+	}
+
+	type named struct {
+		name string
+		cs   map[afg.TaskID][]Choice
+	}
+	var sites []named
+	for i, sel := range selectors {
+		if perSite[i] != nil {
+			sites = append(sites, named{sel.SiteName(), perSite[i]})
+		}
+	}
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	out := make(map[afg.TaskID][]Choice, g.Len())
+	for _, s := range sites {
+		for id, cs := range s.cs {
+			out[id] = append(out[id], cs...)
+		}
+	}
+	return out, nil
+}
+
+// commModel is the environment-average communication cost the rank
+// computations use (the classic HEFT "average transfer rate" treatment):
+// cost(bytes) = mean latency + bytes × mean per-byte seconds, averaged over
+// every ordered pair of participating sites.
+type commModel struct {
+	latency float64
+	perByte float64
+}
+
+func (m commModel) cost(bytes int64) float64 {
+	return m.latency + float64(bytes)*m.perByte
+}
+
+// averageComm derives the commModel from the sites present in the
+// candidate map. No network, or a single site, means communication is free.
+func averageComm(net *netsim.Network, cands map[afg.TaskID][]Choice) commModel {
+	if net == nil {
+		return commModel{}
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, cs := range cands {
+		for _, c := range cs {
+			if !seen[c.Site] {
+				seen[c.Site] = true
+				names = append(names, c.Site)
+			}
+		}
+	}
+	if len(names) < 2 {
+		return commModel{}
+	}
+	sort.Strings(names)
+	const probe = 1 << 20
+	var lat, perByte float64
+	pairs := 0
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			l := net.TransferTime(a, b, 0).Seconds()
+			lat += l
+			perByte += (net.TransferTime(a, b, probe).Seconds() - l) / probe
+			pairs++
+		}
+	}
+	return commModel{latency: lat / float64(pairs), perByte: perByte / float64(pairs)}
+}
+
+// meanExec is w̄(t): the predicted execution averaged over all candidates.
+func meanExec(cs []Choice) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range cs {
+		sum += c.Predicted
+	}
+	return sum / float64(len(cs))
+}
+
+// upwardRanks computes rank_u(t) = w̄(t) + max over children of
+// (c̄(t, child) + rank_u(child)) — the length of the most expensive path
+// from t to an exit, in mean costs.
+func upwardRanks(g *afg.Graph, cands map[afg.TaskID][]Choice, cm commModel) (map[afg.TaskID]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make(map[afg.TaskID]float64, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		var best float64
+		for _, l := range g.Children(id) {
+			if v := cm.cost(transferBytes(g, l)) + rank[l.To]; v > best {
+				best = v
+			}
+		}
+		rank[id] = meanExec(cands[id]) + best
+	}
+	return rank, nil
+}
+
+// downwardRanks computes rank_d(t) = max over parents of
+// (rank_d(parent) + w̄(parent) + c̄(parent, t)); entry tasks rank 0.
+func downwardRanks(g *afg.Graph, cands map[afg.TaskID][]Choice, cm commModel) (map[afg.TaskID]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make(map[afg.TaskID]float64, len(order))
+	for _, id := range order {
+		var best float64
+		for _, l := range g.Parents(id) {
+			v := rank[l.From] + meanExec(cands[l.From]) + cm.cost(transferBytes(g, l))
+			if v > best {
+				best = v
+			}
+		}
+		rank[id] = best
+	}
+	return rank, nil
+}
+
+// byRankDesc orders task ids by descending rank, id ascending on ties.
+// With strictly positive execution costs, rank_u strictly decreases along
+// every edge, so this order schedules parents before children.
+func byRankDesc(ids []afg.TaskID, rank map[afg.TaskID]float64) []afg.TaskID {
+	out := append([]afg.TaskID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := rank[out[i]], rank[out[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// span is one reserved busy interval on a host timeline.
+type span struct {
+	start, end float64
+}
+
+// timeline is one host's reserved intervals, sorted by start and disjoint.
+type timeline struct {
+	busy []span
+}
+
+// earliest returns the insertion-based earliest start at or after ready
+// with room for dur: the first idle gap (or the end of the schedule) that
+// fits the task.
+func (t *timeline) earliest(ready, dur float64) float64 {
+	start := ready
+	for _, s := range t.busy {
+		if start+dur <= s.start {
+			break
+		}
+		if s.end > start {
+			start = s.end
+		}
+	}
+	return start
+}
+
+// end is the time the host's last reserved interval finishes.
+func (t *timeline) end() float64 {
+	if n := len(t.busy); n > 0 {
+		return t.busy[n-1].end
+	}
+	return 0
+}
+
+// add reserves [start, end), keeping the interval list sorted.
+func (t *timeline) add(start, end float64) {
+	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].start >= start })
+	t.busy = append(t.busy, span{})
+	copy(t.busy[i+1:], t.busy[i:])
+	t.busy[i] = span{start, end}
+}
+
+// placement is the shared HEFT/CPOP scheduling state: per-host timelines
+// (seeded lazily from the shared ledger's cross-application reservations),
+// per-task estimated finishes, and the allocation table under construction.
+type placement struct {
+	g      *afg.Graph
+	net    *netsim.Network
+	ledger *LoadLedger
+	lines  map[string]*timeline
+	finish map[afg.TaskID]float64
+	table  *AllocationTable
+}
+
+func newPlacement(g *afg.Graph, net *netsim.Network, ledger *LoadLedger) *placement {
+	return &placement{
+		g:      g,
+		net:    net,
+		ledger: ledger,
+		lines:  make(map[string]*timeline),
+		finish: make(map[afg.TaskID]float64, g.Len()),
+		table:  NewAllocationTable(g.Name),
+	}
+}
+
+func (p *placement) line(host string) *timeline {
+	t, ok := p.lines[host]
+	if !ok {
+		t = &timeline{}
+		if p.ledger != nil {
+			if busy := p.ledger.Busy(host); busy > 0 {
+				t.busy = append(t.busy, span{0, busy})
+			}
+		}
+		p.lines[host] = t
+	}
+	return t
+}
+
+// readyAt is the data-ready time of a task on the given host set at site:
+// every scheduled parent's estimated finish, plus the inter-site transfer
+// unless a host is shared with the parent.
+func (p *placement) readyAt(id afg.TaskID, site string, hosts []string) float64 {
+	var ready float64
+	for _, l := range p.g.Parents(id) {
+		parent, ok := p.table.Get(l.From)
+		if !ok {
+			continue // impossible in rank/ready order; harmless if it were
+		}
+		arrive := p.finish[l.From]
+		if p.net != nil {
+			if bytes := transferBytes(p.g, l); bytes > 0 && !sharesHost(effectiveHosts(parent), hosts) {
+				arrive += p.net.TransferTime(parent.Site, site, bytes).Seconds()
+			}
+		}
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready
+}
+
+// place schedules one task on the candidate minimising insertion-based
+// earliest finish time. restrict, when non-nil, limits the hosts considered
+// (CPOP's critical-path pinning); if it excludes every candidate, placement
+// retries unrestricted rather than failing the application.
+func (p *placement) place(id afg.TaskID, cands []Choice, restrict map[string]bool) error {
+	task := p.g.Task(id)
+	if task.Mode == afg.Parallel && task.Processors > 1 {
+		return p.placeParallel(id, task, cands, restrict)
+	}
+	var best Choice
+	var bestStart float64
+	bestFinish := math.Inf(1)
+	found := false
+	for _, c := range cands {
+		if restrict != nil && !restrict[c.Host] {
+			continue
+		}
+		ready := p.readyAt(id, c.Site, []string{c.Host})
+		start := p.line(c.Host).earliest(ready, c.Predicted)
+		fin := start + c.Predicted
+		better := fin < bestFinish
+		if fin == bestFinish {
+			better = c.Site < best.Site || (c.Site == best.Site && c.Host < best.Host)
+		}
+		if better {
+			best, bestStart, bestFinish, found = c, start, fin, true
+		}
+	}
+	if !found {
+		if restrict != nil {
+			return p.place(id, cands, nil)
+		}
+		return fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+	}
+	p.commit(id, Assignment{
+		Task:      id,
+		Site:      best.Site,
+		Host:      best.Host,
+		Hosts:     []string{best.Host},
+		Predicted: best.Predicted,
+	}, bestStart, bestFinish)
+	return nil
+}
+
+// placeParallel handles parallel-mode tasks: within each candidate site,
+// take the task.Processors hosts that free up earliest (appending after
+// their last reservation — gaps rarely align across a whole machine set),
+// charge the slowest member's prediction split n ways, and pick the site
+// with the earliest finish.
+func (p *placement) placeParallel(id afg.TaskID, task *afg.Task, cands []Choice, restrict map[string]bool) error {
+	bySite := map[string][]Choice{}
+	var siteNames []string
+	for _, c := range cands {
+		if restrict != nil && !restrict[c.Host] {
+			continue
+		}
+		if _, ok := bySite[c.Site]; !ok {
+			siteNames = append(siteNames, c.Site)
+		}
+		bySite[c.Site] = append(bySite[c.Site], c)
+	}
+	if len(bySite) == 0 {
+		if restrict != nil {
+			return p.placeParallel(id, task, cands, nil)
+		}
+		return fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+	}
+	sort.Strings(siteNames)
+
+	var bestAssign Assignment
+	var bestStart float64
+	bestFinish := math.Inf(1)
+	for _, site := range siteNames {
+		group := bySite[site]
+		n := task.Processors
+		if n > len(group) {
+			n = len(group)
+		}
+		// Earliest-freeing hosts first; host name breaks ties.
+		sort.Slice(group, func(i, j int) bool {
+			ei, ej := p.line(group[i].Host).end(), p.line(group[j].Host).end()
+			if ei != ej {
+				return ei < ej
+			}
+			return group[i].Host < group[j].Host
+		})
+		chosen := group[:n]
+		hosts := make([]string, n)
+		var maxPred, free float64
+		for i, c := range chosen {
+			hosts[i] = c.Host
+			if c.Predicted > maxPred {
+				maxPred = c.Predicted
+			}
+			if e := p.line(c.Host).end(); e > free {
+				free = e
+			}
+		}
+		pred := maxPred / float64(n)
+		start := math.Max(p.readyAt(id, site, hosts), free)
+		fin := start + pred
+		if fin < bestFinish || (fin == bestFinish && site < bestAssign.Site) {
+			bestAssign = Assignment{Task: id, Site: site, Host: hosts[0], Hosts: hosts, Predicted: pred}
+			bestStart, bestFinish = start, fin
+		}
+	}
+	p.commit(id, bestAssign, bestStart, bestFinish)
+	return nil
+}
+
+func (p *placement) commit(id afg.TaskID, a Assignment, start, fin float64) {
+	p.table.Set(a)
+	p.finish[id] = fin
+	for _, h := range effectiveHosts(a) {
+		p.line(h).add(start, fin)
+	}
+}
+
+// reserveLedger records the finished schedule's predicted busy seconds in
+// the shared ledger, so concurrent applications in the same batch spread
+// around this one. Done once, after the whole schedule succeeds.
+func (p *placement) reserveLedger() {
+	if p.ledger == nil {
+		return
+	}
+	for _, id := range p.table.Order() {
+		a, _ := p.table.Get(id)
+		for _, h := range effectiveHosts(a) {
+			p.ledger.Reserve(h, a.Predicted)
+		}
+	}
+}
+
+// heftPolicy is the registered "heft" policy.
+type heftPolicy struct{}
+
+// Name implements Policy.
+func (heftPolicy) Name() string { return "heft" }
+
+// Schedule implements Policy: upward-rank order, insertion-based earliest
+// finish placement.
+func (heftPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
+	g := req.Graph
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cands, err := collectCandidates(g, req)
+	if err != nil {
+		return nil, err
+	}
+	cm := averageComm(req.Net, cands)
+	rank, err := upwardRanks(g, cands, cm)
+	if err != nil {
+		return nil, err
+	}
+	p := newPlacement(g, req.Net, req.Config.Ledger)
+	for _, id := range byRankDesc(g.TaskIDs(), rank) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := p.place(id, cands[id], nil); err != nil {
+			return nil, err
+		}
+	}
+	p.reserveLedger()
+	return p.table, nil
+}
+
+// cpopPolicy is the registered "cpop" policy.
+type cpopPolicy struct{}
+
+// Name implements Policy.
+func (cpopPolicy) Name() string { return "cpop" }
+
+// Schedule implements Policy: priority = rank_u + rank_d; the critical path
+// (the chain realising the maximum priority) is pinned to the host
+// minimising its total execution; everything else places by earliest
+// finish time in ready-set priority order.
+func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
+	g := req.Graph
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cands, err := collectCandidates(g, req)
+	if err != nil {
+		return nil, err
+	}
+	cm := averageComm(req.Net, cands)
+	up, err := upwardRanks(g, cands, cm)
+	if err != nil {
+		return nil, err
+	}
+	down, err := downwardRanks(g, cands, cm)
+	if err != nil {
+		return nil, err
+	}
+	prio := make(map[afg.TaskID]float64, g.Len())
+	for _, id := range g.TaskIDs() {
+		prio[id] = up[id] + down[id]
+	}
+
+	cp := criticalPath(g, prio)
+	restrict := criticalHost(cands, cp)
+
+	p := newPlacement(g, req.Net, req.Config.Ledger)
+	tracker := afg.NewTracker(g)
+	for !tracker.AllDone() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ready := tracker.Ready()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			pi, pj := prio[ready[i]], prio[ready[j]]
+			if pi != pj {
+				return pi > pj
+			}
+			return ready[i] < ready[j]
+		})
+		id := ready[0]
+		var pin map[string]bool
+		if cp[id] {
+			pin = restrict
+		}
+		if err := p.place(id, cands[id], pin); err != nil {
+			return nil, err
+		}
+		tracker.Complete(id)
+	}
+	p.reserveLedger()
+	return p.table, nil
+}
+
+// criticalPath walks one maximum-priority chain from the highest-priority
+// entry task to an exit: at every step the child whose priority is largest
+// (the critical child) extends the path.
+func criticalPath(g *afg.Graph, prio map[afg.TaskID]float64) map[afg.TaskID]bool {
+	var cur afg.TaskID
+	best := math.Inf(-1)
+	for _, id := range g.Entries() {
+		if p := prio[id]; p > best || (p == best && id < cur) {
+			cur, best = id, p
+		}
+	}
+	cp := map[afg.TaskID]bool{}
+	if best == math.Inf(-1) {
+		return cp
+	}
+	cp[cur] = true
+	for {
+		children := g.Children(cur)
+		if len(children) == 0 {
+			return cp
+		}
+		next := children[0].To
+		for _, l := range children[1:] {
+			if prio[l.To] > prio[next] || (prio[l.To] == prio[next] && l.To < next) {
+				next = l.To
+			}
+		}
+		cur = next
+		cp[cur] = true
+	}
+}
+
+// criticalHost picks the critical-path processor: among hosts offered to
+// every critical task, the one minimising the path's summed prediction
+// (most-covering, then cheapest, then name, when no host covers them all).
+// Returns a restrict set for placement, nil when there are no candidates.
+func criticalHost(cands map[afg.TaskID][]Choice, cp map[afg.TaskID]bool) map[string]bool {
+	type agg struct {
+		sum float64
+		cnt int
+	}
+	per := map[string]*agg{}
+	for id := range cp {
+		for _, c := range cands[id] {
+			a := per[c.Host]
+			if a == nil {
+				a = &agg{}
+				per[c.Host] = a
+			}
+			a.sum += c.Predicted
+			a.cnt++
+		}
+	}
+	var bestHost string
+	bestCnt, bestSum := 0, math.Inf(1)
+	hosts := make([]string, 0, len(per))
+	for h := range per {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		a := per[h]
+		if a.cnt > bestCnt || (a.cnt == bestCnt && a.sum < bestSum) {
+			bestHost, bestCnt, bestSum = h, a.cnt, a.sum
+		}
+	}
+	if bestHost == "" {
+		return nil
+	}
+	return map[string]bool{bestHost: true}
+}

@@ -1,0 +1,192 @@
+package scheduler
+
+import (
+	"context"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+	"repro/internal/repository"
+)
+
+// Policy is the pluggable scheduling-heuristic contract: every scheduling
+// algorithm in the system — the paper-faithful Site Scheduler, its
+// availability-aware variants, the HEFT/CPOP list heuristics, and the naive
+// baselines — maps an application flow graph to a resource allocation table
+// through this one interface. Policies are stateless singletons registered
+// by name (Register/Lookup/Policies); everything a run needs travels in the
+// Request, so one Policy value may serve concurrent Schedule calls.
+type Policy interface {
+	// Name is the registry key ("faithful", "eft", "heft", ...).
+	Name() string
+	// Schedule maps req.Graph onto the environment described by req.
+	Schedule(ctx context.Context, req *Request) (*AllocationTable, error)
+}
+
+// PriorityFunc orders a set of ready tasks given the graph's level values.
+// ByLevel is the paper's rule; FIFOPriority is the ablation.
+type PriorityFunc func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+
+// Request carries one scheduling problem: the application flow graph, the
+// predictor services of the participating sites (the local Host Selection
+// service plus remote peers), the network model, and the tuning Config.
+type Request struct {
+	// Graph is the application flow graph to place.
+	Graph *afg.Graph
+
+	// Local is the local site's Host Selection service (the predictor the
+	// paper's Fig 5 algorithm runs against). Policies that want per-host
+	// costs use the HostCoster extension when the selector offers it.
+	Local HostSelector
+
+	// Remotes are the other known sites; Config.K bounds the fan-out.
+	Remotes []HostSelector
+
+	// Net supplies transfer_time(Si, Sj); nil means communication is free.
+	Net *netsim.Network
+
+	// Sites optionally exposes the raw site repositories for policies that
+	// need host inventories rather than predictions (the naive baselines).
+	// When nil, repositories are recovered from any in-process
+	// LocalSelector among Local/Remotes.
+	Sites map[string]*repository.Repository
+
+	// Config tunes the run; build it with NewConfig and the With* options.
+	Config Config
+}
+
+// NewRequest assembles a Request over the given environment with the
+// functional options applied on top of the defaults.
+func NewRequest(g *afg.Graph, local HostSelector, remotes []HostSelector, net *netsim.Network, opts ...Option) *Request {
+	return &Request{
+		Graph:   g,
+		Local:   local,
+		Remotes: remotes,
+		Net:     net,
+		Config:  NewConfig(opts...),
+	}
+}
+
+// siteRepos returns the repositories visible to this request: the explicit
+// Sites map when set, else whatever the in-process selectors expose.
+func (r *Request) siteRepos() map[string]*repository.Repository {
+	if len(r.Sites) > 0 {
+		return r.Sites
+	}
+	out := map[string]*repository.Repository{}
+	add := func(sel HostSelector) {
+		if ls, ok := sel.(*LocalSelector); ok && ls.Repo != nil {
+			out[ls.Site] = ls.Repo
+		}
+	}
+	if r.Local != nil {
+		add(r.Local)
+	}
+	for _, sel := range r.Remotes {
+		add(sel)
+	}
+	return out
+}
+
+// Config is the one knob block shared by every policy, replacing the
+// scattered booleans and builder methods of the pre-policy API. The zero
+// value is NOT the default — use NewConfig so defaults (transfer-aware
+// placement) apply.
+type Config struct {
+	// EFT switches site policies from the paper-faithful objective
+	// (predicted + transfer) to earliest-finish-time placement over
+	// estimated host-free timelines.
+	EFT bool
+
+	// Ledger is the shared cross-application load ledger; non-nil implies
+	// availability-aware placement for the site policies and seeds the
+	// HEFT/CPOP host timelines with other applications' reservations.
+	Ledger *LoadLedger
+
+	// Concurrency bounds the per-site fan-out worker pool
+	// (0 = GOMAXPROCS, 1 = serial).
+	Concurrency int
+
+	// Priority orders the ready set; nil uses the paper's level rule.
+	Priority PriorityFunc
+
+	// TransferAware toggles the transfer-time term of the faithful
+	// objective (default true; false is the Fig 4 ablation).
+	TransferAware bool
+
+	// K bounds the neighbour-site fan-out (0 = all remotes).
+	K int
+
+	// Seed feeds the randomized policies ("random").
+	Seed int64
+}
+
+// Option mutates a Config (functional options).
+type Option func(*Config)
+
+// NewConfig returns the default configuration with opts applied.
+func NewConfig(opts ...Option) Config {
+	c := Config{TransferAware: true}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithEFT selects earliest-finish-time placement (availability-aware).
+func WithEFT() Option { return func(c *Config) { c.EFT = true } }
+
+// WithLedger threads the shared cross-application load ledger through the
+// run (implying availability-aware placement for the site policies).
+func WithLedger(l *LoadLedger) Option {
+	return func(c *Config) {
+		c.Ledger = l
+		if l != nil {
+			c.EFT = true
+		}
+	}
+}
+
+// WithConcurrency bounds the per-site fan-out workers (0 = GOMAXPROCS).
+func WithConcurrency(n int) Option { return func(c *Config) { c.Concurrency = n } }
+
+// WithPriority installs a ready-set ordering rule (nil = the level rule).
+func WithPriority(p PriorityFunc) Option { return func(c *Config) { c.Priority = p } }
+
+// WithTransferAware toggles the transfer-time term (default on).
+func WithTransferAware(on bool) Option { return func(c *Config) { c.TransferAware = on } }
+
+// WithK bounds the neighbour-site fan-out (0 = all remotes).
+func WithK(k int) Option { return func(c *Config) { c.K = k } }
+
+// WithSeed seeds the randomized policies.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// Bind fixes a policy to an environment, yielding the legacy Scheduler
+// interface: each Schedule(g) call copies env, installs g, and runs the
+// policy. The env's Graph field is ignored. This is how scheduler.Batch and
+// site.Manager run policies selected by name.
+func Bind(p Policy, env Request) Scheduler {
+	return &boundPolicy{policy: p, env: env}
+}
+
+// boundPolicy adapts (Policy, environment) to the Scheduler interface.
+type boundPolicy struct {
+	policy Policy
+	env    Request
+}
+
+// Schedule implements Scheduler.
+func (b *boundPolicy) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	req := b.env
+	req.Graph = g
+	return b.policy.Schedule(context.Background(), &req)
+}
+
+// withLedger returns a copy whose runs share the given ledger (and, for the
+// site policies, availability-aware placement — the ledger requires it).
+func (b *boundPolicy) withLedger(l *LoadLedger) *boundPolicy {
+	c := *b
+	c.env.Config.Ledger = l
+	c.env.Config.EFT = true
+	return &c
+}

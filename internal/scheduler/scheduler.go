@@ -152,7 +152,16 @@ type LocalSelector struct {
 	// paper's level rule (ByLevel). Because each assignment bumps its
 	// host's queued load, the walk order decides which tasks get the
 	// fastest machines — FIFOPriority here is the level-rule ablation.
-	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+	Priority PriorityFunc
+}
+
+// HostCoster is an optional HostSelector extension: per-task pure predicted
+// execution seconds for EVERY eligible host at the site, not just the
+// minimiser SelectHosts reports. The HEFT/CPOP policies use it for their
+// rank computations and per-host placement; selectors without it (RPC
+// remotes) degrade to the single best offer per site.
+type HostCoster interface {
+	HostCosts(g *afg.Graph) (map[afg.TaskID][]Choice, error)
 }
 
 // SiteName implements HostSelector.
@@ -219,13 +228,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	}
 	var cands []scored
 	for _, r := range resources {
-		if r.Dynamic.Down {
-			continue
-		}
-		if task.MachineType != "" && r.Static.Arch != task.MachineType {
-			continue
-		}
-		if !s.Repo.Constraints.CanRun(task.Function, r.Static.HostName) {
+		if !s.eligible(task, r) {
 			continue
 		}
 		host := r.Static.HostName
@@ -267,6 +270,52 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	// share; an ideal row split divides the work n ways.
 	pred := maxPred / float64(n)
 	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, nil
+}
+
+// eligible applies the Fig 5 resource filters: the host is up, matches the
+// task's machine-type preference, and passes the constraint database.
+func (s *LocalSelector) eligible(task *afg.Task, r repository.ResourceRecord) bool {
+	if r.Dynamic.Down {
+		return false
+	}
+	if task.MachineType != "" && r.Static.Arch != task.MachineType {
+		return false
+	}
+	return s.Repo.Constraints.CanRun(task.Function, r.Static.HostName)
+}
+
+// HostCosts implements HostCoster: for every task, the pure predicted
+// execution seconds on every eligible host at this site, sorted by host
+// name. Unlike SelectHosts it models no queueing — no queued-load bumps, no
+// free-time timeline — because the caller (HEFT/CPOP placement) prices
+// contention itself; the Forecast hook and prediction cache apply as usual.
+func (s *LocalSelector) HostCosts(g *afg.Graph) (map[afg.TaskID][]Choice, error) {
+	var gens map[string]uint64
+	if s.Cache != nil {
+		gens = s.Cache.Generations()
+	}
+	resources := s.Repo.Resources.List()
+	out := make(map[afg.TaskID][]Choice, g.Len())
+	for _, id := range g.TaskIDs() {
+		task := g.Task(id)
+		var choices []Choice
+		for _, r := range resources {
+			if !s.eligible(task, r) {
+				continue
+			}
+			choices = append(choices, Choice{
+				Site:      s.Site,
+				Host:      r.Static.HostName,
+				Predicted: s.predictOn(task, r, 0, gens),
+			})
+		}
+		if len(choices) == 0 {
+			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, ErrNoEligibleHost)
+		}
+		sort.Slice(choices, func(i, j int) bool { return choices[i].Host < choices[j].Host })
+		out[id] = choices
+	}
+	return out, nil
 }
 
 // predictOn evaluates the prediction function for one task on one resource;

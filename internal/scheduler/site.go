@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,9 @@ type SiteScheduler struct {
 	//
 	// Off by default — the paper-faithful Fig 4 walk is the ablation
 	// baseline the evaluation compares against.
+	//
+	// Deprecated: select the "eft" policy (Lookup("eft"), or WithEFT on a
+	// Request) instead of toggling this boolean.
 	AvailabilityAware bool
 
 	// Ledger, when non-nil, is the shared cross-application load ledger
@@ -55,7 +59,7 @@ type SiteScheduler struct {
 
 	// Priority orders the ready set each step; nil means the paper's
 	// level rule (ByLevel). FIFOPriority is the ablation alternative.
-	Priority func([]afg.TaskID, map[afg.TaskID]float64) []afg.TaskID
+	Priority PriorityFunc
 
 	// Concurrency bounds the worker pool fanning Host Selection out
 	// across sites (steps 3–5): 0 uses GOMAXPROCS workers, 1 keeps the
@@ -73,7 +77,79 @@ func NewSiteScheduler(local HostSelector, remotes []HostSelector, net *netsim.Ne
 }
 
 // Schedule produces a resource allocation table for g.
+//
+// Deprecated: Schedule delegates to the policy API — Lookup("faithful") or
+// Lookup("eft") with a Request built by NewRequest expresses the same run
+// and composes with the registry; this method remains for existing callers.
 func (s *SiteScheduler) Schedule(g *afg.Graph) (*AllocationTable, error) {
+	// Mode follows the AvailabilityAware flag alone, exactly as the old
+	// engine did: a ledger installed without the flag stays ignored.
+	name := "faithful"
+	if s.AvailabilityAware {
+		name = "eft"
+	}
+	p, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Schedule(context.Background(), &Request{
+		Graph:   g,
+		Local:   s.Local,
+		Remotes: s.Remotes,
+		Net:     s.Net,
+		Config: Config{
+			EFT:           s.AvailabilityAware,
+			Ledger:        s.Ledger,
+			Concurrency:   s.Concurrency,
+			Priority:      s.Priority,
+			TransferAware: s.TransferAware,
+			K:             s.K,
+		},
+	})
+}
+
+// sitePolicy wraps the Site Scheduler engine as a registered Policy:
+// "faithful" is the paper's Fig 4 walk, "eft" the earliest-finish-time
+// variant, and "ledger" eft with a cross-application load ledger (the
+// request's shared ledger when provided, else a private one).
+type sitePolicy struct {
+	name   string
+	eft    bool
+	ledger bool
+}
+
+// Name implements Policy.
+func (p sitePolicy) Name() string { return p.name }
+
+// Schedule implements Policy by assembling the engine from the request.
+func (p sitePolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := req.Config
+	// Availability mode comes from the policy name or an explicit WithEFT;
+	// WithLedger sets EFT itself, so a bare Config.Ledger (the deprecated
+	// Schedule shim passing legacy fields through) does not force it.
+	s := &SiteScheduler{
+		Local:             req.Local,
+		Remotes:           req.Remotes,
+		Net:               req.Net,
+		K:                 cfg.K,
+		TransferAware:     cfg.TransferAware,
+		AvailabilityAware: p.eft || cfg.EFT,
+		Ledger:            cfg.Ledger,
+		Priority:          cfg.Priority,
+		Concurrency:       cfg.Concurrency,
+	}
+	if p.ledger && s.Ledger == nil {
+		s.Ledger = NewLoadLedger()
+	}
+	return s.run(req.Graph)
+}
+
+// run is the Site Scheduler engine (the former Schedule body); both the
+// deprecated method and the registered site policies funnel through it.
+func (s *SiteScheduler) run(g *afg.Graph) (*AllocationTable, error) {
 	if s.Local == nil {
 		return nil, ErrNoSites
 	}
@@ -257,6 +333,9 @@ func (s *SiteScheduler) scheduleAvailabilityAware(g *afg.Graph, results []siteRe
 // cross-application ledger (and availability-aware placement, which the
 // ledger requires). scheduler.Batch uses it to thread one ledger through
 // every concurrent Schedule call.
+//
+// Deprecated: use the WithLedger Option on a Request (or Batch.Ledger with
+// a Bind-wrapped policy); this builder remains for existing callers.
 func (s *SiteScheduler) WithLedger(l *LoadLedger) *SiteScheduler {
 	c := *s
 	c.Ledger = l
@@ -340,19 +419,25 @@ func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector
 // nearestRemotes returns the k nearest remote selectors by network latency
 // from the local site (all remotes when no network or K <= 0).
 func (s *SiteScheduler) nearestRemotes() []HostSelector {
-	if len(s.Remotes) == 0 {
+	return nearestSelectors(s.Local, s.Remotes, s.Net, s.K)
+}
+
+// nearestSelectors is the neighbour-selection step shared by the site
+// policies and the HEFT/CPOP candidate collection: the k remotes nearest to
+// local by network latency (all remotes when no network or k <= 0).
+func nearestSelectors(local HostSelector, remotes []HostSelector, net *netsim.Network, k int) []HostSelector {
+	if len(remotes) == 0 {
 		return nil
 	}
-	k := s.K
-	if k <= 0 || k > len(s.Remotes) {
-		k = len(s.Remotes)
+	if k <= 0 || k > len(remotes) {
+		k = len(remotes)
 	}
-	if s.Net == nil {
-		return s.Remotes[:k]
+	if net == nil {
+		return remotes[:k]
 	}
-	names := s.Net.Nearest(s.Local.SiteName(), len(s.Remotes))
-	byName := make(map[string]HostSelector, len(s.Remotes))
-	for _, r := range s.Remotes {
+	names := net.Nearest(local.SiteName(), len(remotes))
+	byName := make(map[string]HostSelector, len(remotes))
+	for _, r := range remotes {
 		byName[r.SiteName()] = r
 	}
 	var out []HostSelector
@@ -365,7 +450,7 @@ func (s *SiteScheduler) nearestRemotes() []HostSelector {
 		}
 	}
 	// Remotes absent from the network map come last.
-	for _, r := range s.Remotes {
+	for _, r := range remotes {
 		if len(out) == k {
 			break
 		}

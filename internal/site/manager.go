@@ -40,19 +40,36 @@ type Config struct {
 	// AvailabilityAware makes this site's schedulers place by earliest
 	// finish time (predicted + transfer + host wait) instead of the
 	// paper-faithful predicted + transfer objective.
+	//
+	// Deprecated: set Policy to "eft" instead; the flag remains as the
+	// default-policy fallback for existing configurations.
 	AvailabilityAware bool
+
+	// Policy names the scheduling policy this site runs by default
+	// (scheduler.Lookup name: "faithful", "eft", "heft", "cpop", ...).
+	// Empty selects "eft" when AvailabilityAware is set, else "faithful".
+	Policy string
 }
 
 // BatchOptions tunes one ScheduleBatchOpts call; the zero value follows
 // the site Config.
 type BatchOptions struct {
+	// Policy selects the scheduling policy by registry name for this
+	// batch; empty follows the site default (Config.Policy).
+	Policy string
 	// AvailabilityAware forces earliest-finish-time placement for this
-	// batch even if the site default is paper-faithful.
+	// batch even if the site default is paper-faithful. Ignored when a
+	// Policy is named explicitly.
 	AvailabilityAware bool
 	// SharedLedger threads one cross-application load ledger through the
-	// batch (implies availability-aware placement): the batch's graphs
-	// see each other's in-flight placements and spread accordingly.
+	// batch (implies availability-aware placement for the site policies):
+	// the batch's graphs see each other's in-flight placements and
+	// spread accordingly. The "ledger" policy shares a batch-wide ledger
+	// even without this flag — that sharing is its whole point.
 	SharedLedger bool
+	// Seed feeds the randomized policies ("random"), so probing clients
+	// can vary placements between otherwise identical calls.
+	Seed int64
 }
 
 // Manager is one VDCE site.
@@ -236,6 +253,9 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 // SiteScheduler builds this site's distributed Site Scheduler over the given
 // remote selectors, with the configured fan-out concurrency and placement
 // mode.
+//
+// Deprecated: use Policy (or SchedulePolicy) — the struct remains for
+// callers tuning engine fields directly.
 func (m *Manager) SiteScheduler(remotes []scheduler.HostSelector) *scheduler.SiteScheduler {
 	sched := scheduler.NewSiteScheduler(m.Selector, remotes, m.Net, 0)
 	sched.Concurrency = m.cfg.SchedulerConcurrency
@@ -243,33 +263,79 @@ func (m *Manager) SiteScheduler(remotes []scheduler.HostSelector) *scheduler.Sit
 	return sched
 }
 
+// Policy resolves the scheduling policy one call should run: the explicit
+// override, else the site's configured default, else the mode implied by
+// the deprecated AvailabilityAware flag.
+func (m *Manager) Policy(override string) (scheduler.Policy, error) {
+	name := override
+	if name == "" {
+		name = m.cfg.Policy
+	}
+	if name == "" {
+		if m.cfg.AvailabilityAware {
+			name = "eft"
+		} else {
+			name = "faithful"
+		}
+	}
+	return scheduler.Lookup(name)
+}
+
+// policyRequest assembles the policy environment for this site: the local
+// Host Selection service, the given remotes, the network model, and the
+// fan-out concurrency. The deprecated AvailabilityAware site flag is NOT
+// folded in here — it acts only through the default-policy fallback in
+// Policy(), so an explicitly named policy (e.g. "faithful" as the ablation
+// baseline) always runs exactly what its name says.
+func (m *Manager) policyRequest(g *afg.Graph, remotes []scheduler.HostSelector, concurrency int, seed int64) *scheduler.Request {
+	return scheduler.NewRequest(g, m.Selector, remotes, m.Net,
+		scheduler.WithConcurrency(concurrency), scheduler.WithSeed(seed))
+}
+
+// SchedulePolicy schedules one application under the named policy (empty =
+// the site default) against this site plus the given remote selectors.
+func (m *Manager) SchedulePolicy(ctx context.Context, policy string, g *afg.Graph, remotes []scheduler.HostSelector) (*scheduler.AllocationTable, error) {
+	p, err := m.Policy(policy)
+	if err != nil {
+		return nil, err
+	}
+	return p.Schedule(ctx, m.policyRequest(g, remotes, m.cfg.SchedulerConcurrency, 0))
+}
+
 // ScheduleBatch schedules many applications concurrently against this site
 // (plus the given remote selectors), sharing the repository and prediction
 // cache across all of them, with the site's default batch options. Results
 // come back in input order.
-func (m *Manager) ScheduleBatch(graphs []*afg.Graph, remotes []scheduler.HostSelector) []scheduler.BatchItem {
+func (m *Manager) ScheduleBatch(graphs []*afg.Graph, remotes []scheduler.HostSelector) ([]scheduler.BatchItem, error) {
 	return m.ScheduleBatchOpts(graphs, remotes, BatchOptions{})
 }
 
 // ScheduleBatchOpts is ScheduleBatch with per-call options (the
-// Site.ScheduleBatch RPC surfaces them to clients).
+// Site.ScheduleBatch RPC surfaces them to clients). It fails fast on an
+// unknown policy name; per-graph failures report through the items.
 // SchedulerConcurrency is one budget, not two: with several graphs in
 // flight it bounds the batch workers and each schedule fans out serially;
 // a single graph gets the whole budget as fan-out instead. Without this,
 // the effective parallelism would be the square of the configured bound.
-func (m *Manager) ScheduleBatchOpts(graphs []*afg.Graph, remotes []scheduler.HostSelector, opts BatchOptions) []scheduler.BatchItem {
-	sched := m.SiteScheduler(remotes)
+func (m *Manager) ScheduleBatchOpts(graphs []*afg.Graph, remotes []scheduler.HostSelector, opts BatchOptions) ([]scheduler.BatchItem, error) {
+	policyName := opts.Policy
+	if policyName == "" && opts.AvailabilityAware {
+		policyName = "eft"
+	}
+	p, err := m.Policy(policyName)
+	if err != nil {
+		return nil, err
+	}
+	concurrency := m.cfg.SchedulerConcurrency
 	if len(graphs) > 1 {
-		sched.Concurrency = 1
+		concurrency = 1
 	}
-	if opts.AvailabilityAware {
-		sched.AvailabilityAware = true
-	}
-	b := &scheduler.Batch{Scheduler: sched, Workers: m.cfg.SchedulerConcurrency}
+	env := m.policyRequest(nil, remotes, concurrency, opts.Seed)
+	b := &scheduler.Batch{Scheduler: scheduler.Bind(p, *env), Workers: m.cfg.SchedulerConcurrency}
 	if opts.SharedLedger {
 		b.Ledger = scheduler.NewLoadLedger()
 	}
-	return b.Schedule(graphs)
+	return b.Schedule(graphs), nil
 }
 
 // ExecuteLocal schedules (against this site only, plus the given remote
@@ -279,8 +345,7 @@ func (m *Manager) ScheduleBatchOpts(graphs []*afg.Graph, remotes []scheduler.Hos
 // application execution is completed, the newly measured execution time of
 // each application task is stored").
 func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []scheduler.HostSelector, resolve func(string) *resource.Host) (*runtime.Result, *scheduler.AllocationTable, error) {
-	sched := m.SiteScheduler(remotes)
-	table, err := sched.Schedule(g)
+	table, err := m.SchedulePolicy(ctx, "", g, remotes)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -317,14 +382,19 @@ func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []sche
 // site's hosts, tasks assigned to a peer are forwarded to that peer's
 // RunTask endpoint — the full multi-process execution path of Fig 6/7.
 func (m *Manager) ExecuteDistributed(ctx context.Context, g *afg.Graph, peers []*RemoteSelector) (*runtime.Result, *scheduler.AllocationTable, error) {
+	return m.ExecuteDistributedPolicy(ctx, g, peers, "")
+}
+
+// ExecuteDistributedPolicy is ExecuteDistributed scheduling under the named
+// policy (empty = the site default).
+func (m *Manager) ExecuteDistributedPolicy(ctx context.Context, g *afg.Graph, peers []*RemoteSelector, policy string) (*runtime.Result, *scheduler.AllocationTable, error) {
 	var remotes []scheduler.HostSelector
 	byName := make(map[string]*RemoteSelector, len(peers))
 	for _, p := range peers {
 		remotes = append(remotes, p)
 		byName[p.Name] = p
 	}
-	sched := m.SiteScheduler(remotes)
-	table, err := sched.Schedule(g)
+	table, err := m.SchedulePolicy(ctx, policy, g, remotes)
 	if err != nil {
 		return nil, nil, err
 	}

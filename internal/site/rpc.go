@@ -54,20 +54,27 @@ func (s *Service) SelectHosts(args SelectArgs, reply *SelectReply) error {
 
 // BatchArgs carries many JSON-encoded application flow graphs for
 // concurrent scheduling against this site and its configured peers.
-// AvailabilityAware requests earliest-finish-time placement (a false
-// value defers to the site's configured default); SharedLedger threads a
-// cross-application load ledger through the batch so its graphs spread
-// around each other's in-flight placements.
+// Policy selects the scheduling policy by registry name ("" = the site's
+// configured default); AvailabilityAware requests earliest-finish-time
+// placement (a false value defers to the site's configured default);
+// SharedLedger threads a cross-application load ledger through the batch
+// so its graphs spread around each other's in-flight placements.
 type BatchArgs struct {
 	AFGs              [][]byte
+	Policy            string
 	AvailabilityAware bool
 	SharedLedger      bool
+	Seed              int64 // feeds the randomized policies ("random")
 }
 
 // BatchReply returns one allocation table (or error string) per input AFG,
-// in input order. Exactly one of Tables[i]/Errs[i] is non-zero.
+// in input order. Exactly one of Tables[i]/Errs[i] is non-zero. Orders[i]
+// carries the table's assignment order (lost by the bare entries map);
+// scheduler.RebuildTable(app, Tables[i], Orders[i]) reconstructs the full
+// ordered table client-side.
 type BatchReply struct {
 	Tables []map[afg.TaskID]scheduler.Assignment
+	Orders [][]afg.TaskID
 	Errs   []string
 }
 
@@ -75,10 +82,13 @@ type BatchReply struct {
 // shared site state (the scheduler.Batch API over RPC). It returns the
 // allocation tables only — execution stays with the caller, which lets a
 // client probe placements for many candidate applications in one round
-// trip. Failures are per item: a graph that does not decode or schedule
-// reports through Errs[i] without sinking the rest of the batch.
+// trip. Failures are per item — a graph that does not decode or schedule
+// reports through Errs[i] without sinking the rest of the batch — except an
+// unknown policy name, which fails the whole call with the registry's
+// error listing the available policies.
 func (s *Service) ScheduleBatch(args BatchArgs, reply *BatchReply) error {
 	reply.Tables = make([]map[afg.TaskID]scheduler.Assignment, len(args.AFGs))
+	reply.Orders = make([][]afg.TaskID, len(args.AFGs))
 	reply.Errs = make([]string, len(args.AFGs))
 	var graphs []*afg.Graph
 	var indices []int // position of graphs[j] in the reply
@@ -96,17 +106,37 @@ func (s *Service) ScheduleBatch(args BatchArgs, reply *BatchReply) error {
 		remotes = append(remotes, p)
 	}
 	opts := BatchOptions{
+		Policy:            args.Policy,
 		AvailabilityAware: args.AvailabilityAware,
 		SharedLedger:      args.SharedLedger,
+		Seed:              args.Seed,
 	}
-	for j, it := range s.m.ScheduleBatchOpts(graphs, remotes, opts) {
+	items, err := s.m.ScheduleBatchOpts(graphs, remotes, opts)
+	if err != nil {
+		return err
+	}
+	for j, it := range items {
 		i := indices[j]
 		if it.Err != nil {
 			reply.Errs[i] = it.Err.Error()
 			continue
 		}
 		reply.Tables[i] = it.Table.Entries
+		reply.Orders[i] = it.Table.Order()
 	}
+	return nil
+}
+
+// PoliciesArgs is empty; PoliciesReply lists the registered policy names.
+type PoliciesArgs struct{}
+
+// PoliciesReply carries the registry contents (sorted).
+type PoliciesReply struct{ Names []string }
+
+// Policies reports the scheduling policies this site can run, so clients
+// can validate -policy values before submitting.
+func (s *Service) Policies(_ PoliciesArgs, reply *PoliciesReply) error {
+	reply.Names = scheduler.Policies()
 	return nil
 }
 
@@ -190,8 +220,10 @@ func (s *Service) RunTask(args RunTaskArgs, reply *RunTaskReply) error {
 }
 
 // SubmitArgs carries an application for scheduling + local execution.
+// Policy optionally names the scheduling policy ("" = site default).
 type SubmitArgs struct {
-	AFG []byte
+	AFG    []byte
+	Policy string
 }
 
 // SubmitReply summarises the execution.
@@ -210,7 +242,7 @@ func (s *Service) Submit(args SubmitArgs, reply *SubmitReply) error {
 	if err != nil {
 		return err
 	}
-	res, table, err := s.m.ExecuteDistributed(contextBackground(), g, s.peers)
+	res, table, err := s.m.ExecuteDistributedPolicy(contextBackground(), g, s.peers, args.Policy)
 	if err != nil {
 		return err
 	}
