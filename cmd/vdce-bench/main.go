@@ -4,16 +4,20 @@
 //
 // Usage:
 //
-//	vdce-bench                 # run everything
-//	vdce-bench -exp FIG4,FIG5  # run selected experiments
-//	vdce-bench -csv            # CSV output
-//	vdce-bench -seed 7         # change the deterministic seed
+//	vdce-bench                       # run everything
+//	vdce-bench -exp FIG4,FIG5        # run selected experiments
+//	vdce-bench -csv                  # CSV output
+//	vdce-bench -seed 7               # change the deterministic seed
+//	vdce-bench -cpuprofile cpu.prof  # profile the run (go tool pprof)
+//	vdce-bench -memprofile mem.prof  # heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -39,11 +43,49 @@ var experimentOrder = []string{
 }
 
 func main() {
+	// run does the work so its defers (profile flushes) fire exactly once
+	// before the exit code is surfaced — os.Exit in main would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	policies := flag.String("policies", "", "restrict the POLICY experiment to these comma-separated scheduling policies (empty = all registered)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	// Profiling hooks: hot-path regressions in the scheduling core are
+	// diagnosable straight from the evaluation binary, no code edits.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date live-object statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *policies != "" {
 		var names []string
@@ -63,7 +105,7 @@ func main() {
 			if _, ok := experimentFuncs[id]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
 					id, strings.Join(experimentOrder, ", "))
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -86,6 +128,7 @@ func main() {
 		fmt.Println()
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -22,6 +22,24 @@
 // allocations) does the scoring at scale. The paper-faithful algorithm
 // remains the default policy and the evaluation baseline.
 //
+// # Performance
+//
+// The scheduling core is dense: afg.Graph caches an integer-indexed view
+// (Graph.Index — TaskID→int, CSR adjacency, topological order), per-(task,
+// host) predictions sit in one contiguous CostMatrix built in a single
+// batched pass and shared across policies via a CostCache, ranks and
+// ready-set walks run on slice-indexed priority heaps, host timelines
+// binary-search their insertion gaps, and the cross-application LoadLedger
+// is striped with bulk-snapshot LedgerViews instead of a global mutex.
+// Invariants: dense indices follow ascending TaskID order (index
+// tie-breaks equal id tie-breaks), arc transfer volumes are resolved when
+// the index is built (task cost metadata is frozen during scheduling), and
+// structural graph mutations invalidate the cached index. The map-keyed
+// originals are retained as test oracles with equivalence tests pinning
+// identical allocation tables. Net effect on the POLICY experiment
+// (9 policies × 6×1000-task graphs × 32 sites): ~5× faster with ~92%
+// fewer allocations; README.md carries the before/after table.
+//
 // See README.md for the architecture overview, the policy table, the
 // per-experiment index, and how to run the benchmarks. The root-level
 // bench_test.go wraps each experiment in a testing.B benchmark.

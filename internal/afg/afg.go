@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TaskID identifies a task within one application flow graph.
@@ -90,6 +91,16 @@ type Graph struct {
 	tasks map[TaskID]*Task
 	succ  map[TaskID][]Link // outgoing links, keyed by From
 	pred  map[TaskID][]Link // incoming links, keyed by To
+
+	// Dense-view cache (see Index): structural mutations bump gen, so a
+	// cached Index is valid exactly while idxGen == gen. The mutex makes
+	// Index() safe from the concurrent readers of a frozen graph (batch
+	// scheduling fans selectors out over one graph); mutation itself is
+	// single-writer, as before.
+	mu     sync.Mutex
+	gen    uint64
+	idx    *Index
+	idxGen uint64
 }
 
 // Common graph errors.
@@ -125,6 +136,9 @@ func (g *Graph) AddTask(t *Task) error {
 		t.Processors = 1
 	}
 	g.tasks[t.ID] = t
+	g.mu.Lock()
+	g.gen++
+	g.mu.Unlock()
 	return nil
 }
 
@@ -182,6 +196,9 @@ func (g *Graph) addLink(l Link, autoPort bool) error {
 	sort.Slice(g.pred[l.To], func(i, j int) bool {
 		return g.pred[l.To][i].Port < g.pred[l.To][j].Port
 	})
+	g.mu.Lock()
+	g.gen++
+	g.mu.Unlock()
 	return nil
 }
 
@@ -275,34 +292,17 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// TopoOrder returns a deterministic topological ordering (Kahn's algorithm
-// with a sorted frontier) or ErrCycle.
+// TopoOrder returns a deterministic topological ordering (ascending-id
+// frontier) or ErrCycle. The order itself comes from the cached dense
+// Index; this wrapper materialises it as TaskIDs for map-keyed callers.
 func (g *Graph) TopoOrder() ([]TaskID, error) {
-	indeg := make(map[TaskID]int, len(g.tasks))
-	for id := range g.tasks {
-		indeg[id] = len(g.pred[id])
+	ix, err := g.Index()
+	if err != nil {
+		return nil, err
 	}
-	var frontier []TaskID
-	for _, id := range g.TaskIDs() {
-		if indeg[id] == 0 {
-			frontier = append(frontier, id)
-		}
-	}
-	var order []TaskID
-	for len(frontier) > 0 {
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		id := frontier[0]
-		frontier = frontier[1:]
-		order = append(order, id)
-		for _, e := range g.succ[id] {
-			indeg[e.To]--
-			if indeg[e.To] == 0 {
-				frontier = append(frontier, e.To)
-			}
-		}
-	}
-	if len(order) != len(g.tasks) {
-		return nil, ErrCycle
+	order := make([]TaskID, len(ix.topo))
+	for k, i := range ix.topo {
+		order[k] = ix.ids[i]
 	}
 	return order, nil
 }
@@ -312,20 +312,14 @@ func (g *Graph) TopoOrder() ([]TaskID, error) {
 // from the node to an exit node, inclusive of the node's own cost. Higher
 // level ⇒ higher scheduling priority.
 func (g *Graph) Levels() (map[TaskID]float64, error) {
-	order, err := g.TopoOrder()
+	ix, err := g.Index()
 	if err != nil {
 		return nil, err
 	}
-	levels := make(map[TaskID]float64, len(order))
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
-		var best float64
-		for _, e := range g.succ[id] {
-			if l := levels[e.To]; l > best {
-				best = l
-			}
-		}
-		levels[id] = best + g.tasks[id].ComputeCost
+	dense := ix.Levels()
+	levels := make(map[TaskID]float64, len(dense))
+	for i, v := range dense {
+		levels[ix.ids[i]] = v
 	}
 	return levels, nil
 }

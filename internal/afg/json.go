@@ -86,7 +86,17 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := fresh.Validate(); err != nil {
 		return err
 	}
-	*g = *fresh
+	// Move the decoded state field-by-field: copying the whole struct
+	// would copy the dense-view mutex, and g may have a cached Index to
+	// invalidate.
+	g.mu.Lock()
+	g.Name = fresh.Name
+	g.tasks = fresh.tasks
+	g.succ = fresh.succ
+	g.pred = fresh.pred
+	g.gen++
+	g.idx = nil
+	g.mu.Unlock()
 	return nil
 }
 

@@ -15,18 +15,29 @@ import (
 // replays cannot see: two applications that both promised the same fast
 // host really do queue on it.
 func mergeForSimulation(graphs []*afg.Graph, items []scheduler.BatchItem) (*afg.Graph, *scheduler.AllocationTable, error) {
+	merged, err := mergeGraphs(graphs)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := mergeTables(graphs, items)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merged, table, nil
+}
+
+// mergeGraphs builds the disjoint-union graph (tasks prefixed per source
+// graph). Split from the table merge so harnesses replaying many policies
+// over one batch build the union — and its dense index — once.
+func mergeGraphs(graphs []*afg.Graph) (*afg.Graph, error) {
 	merged := afg.New("combined")
-	table := scheduler.NewAllocationTable("combined")
 	for gi, g := range graphs {
-		if items[gi].Err != nil {
-			return nil, nil, fmt.Errorf("graph %d: %w", gi, items[gi].Err)
-		}
 		prefix := fmt.Sprintf("g%02d/", gi)
 		for _, id := range g.TaskIDs() {
 			t := g.Task(id).Clone()
 			t.ID = afg.TaskID(prefix + string(id))
 			if err := merged.AddTask(t); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		for _, l := range g.Links() {
@@ -37,16 +48,29 @@ func mergeForSimulation(graphs []*afg.Graph, items []scheduler.BatchItem) (*afg.
 				Port:  l.Port,
 			})
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
+	}
+	return merged, nil
+}
+
+// mergeTables folds the batch's per-graph allocation tables onto the
+// union graph's prefixed task ids.
+func mergeTables(graphs []*afg.Graph, items []scheduler.BatchItem) (*scheduler.AllocationTable, error) {
+	table := scheduler.NewAllocationTable("combined")
+	for gi := range graphs {
+		if items[gi].Err != nil {
+			return nil, fmt.Errorf("graph %d: %w", gi, items[gi].Err)
+		}
+		prefix := fmt.Sprintf("g%02d/", gi)
 		for _, id := range items[gi].Table.Order() {
 			a, _ := items[gi].Table.Get(id)
 			a.Task = afg.TaskID(prefix + string(id))
 			table.Set(a)
 		}
 	}
-	return merged, table, nil
+	return table, nil
 }
 
 // ledgerConfig is one placement configuration of the LEDGER experiment.

@@ -72,6 +72,13 @@ func (b *Batch) Schedule(graphs []*afg.Graph) []BatchItem {
 			sched = s.withLedger(ledger)
 		}
 	}
+	// One cost-matrix cache per batch: a policy scheduling the same graph
+	// twice (or several bound policies sharing a Config-supplied cache)
+	// gathers per-(task, host) costs once. Harmless for policies that
+	// never read it.
+	if bp, ok := sched.(*boundPolicy); ok && bp.env.Config.Costs == nil {
+		sched = bp.withCosts(NewCostCache())
+	}
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,430 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/afg"
+)
+
+// This file is the dense scheduling core: per-(task, host) predictions live
+// in one contiguous matrix addressed by (dense task index × dense host
+// column) instead of map[TaskID][]Choice, built in a single batched pass
+// over the participating sites and shared — via CostCache — across every
+// policy a Batch or policy-comparison run throws at the same graph.
+
+// HostRef names one dense host column: the host and the site that owns it.
+type HostRef struct {
+	Site string
+	Host string
+}
+
+// CostMatrix is the dense candidate table for one (graph, environment)
+// pair: Pred[t*H+c] is the pure predicted execution seconds of task t on
+// host column c, NaN where the host is ineligible. Columns are grouped by
+// site in ascending site-name order and sorted by host name within a site —
+// exactly the deterministic merge order of the map-keyed gather, so walks
+// that iterate columns in order reproduce the map path's tie-breaks.
+//
+// Sites whose selector offers no per-host costs (RPC remotes without the
+// HostCoster extension) contribute no columns; their single best offer per
+// task sits in the site block's fallback slice instead.
+type CostMatrix struct {
+	ix     *afg.Index
+	hosts  []HostRef
+	col    map[string]int32 // host name -> dense column
+	pred   []float64        // V×H row-major; NaN = ineligible
+	blocks []siteBlock      // participating sites, ascending name
+	sites  []string         // participating site names, ascending
+}
+
+// siteBlock is one site's contribution to the matrix: a column range for
+// per-host-cost sites, or an index-addressed fallback offer table.
+type siteBlock struct {
+	name       string
+	col0, col1 int32    // dense column range; col0 == col1 ⇒ fallback site
+	fallback   []Choice // idx-indexed best offers (fallback sites only)
+}
+
+// Hosts returns the dense column → host table. Callers must not mutate it.
+func (cm *CostMatrix) Hosts() []HostRef { return cm.hosts }
+
+// Sites returns the participating site names, ascending.
+func (cm *CostMatrix) Sites() []string { return cm.sites }
+
+// Pred returns the predicted seconds for task index t on column c (NaN
+// when ineligible).
+func (cm *CostMatrix) Pred(t, c int) float64 {
+	return cm.pred[t*len(cm.hosts)+c]
+}
+
+// row returns task t's prediction row.
+func (cm *CostMatrix) row(t int) []float64 {
+	h := len(cm.hosts)
+	return cm.pred[t*h : (t+1)*h]
+}
+
+// meanExec is w̄(t): the prediction averaged over every candidate of task
+// t, accumulated in the same site-then-host order as the map-keyed gather
+// so the float result is bit-identical.
+func (cm *CostMatrix) meanExec(t int) float64 {
+	row := cm.row(t)
+	var sum float64
+	n := 0
+	for _, b := range cm.blocks {
+		if b.fallback != nil {
+			if c := b.fallback[t]; c.Host != "" {
+				sum += c.Predicted
+				n++
+			}
+			continue
+		}
+		for c := b.col0; c < b.col1; c++ {
+			if p := row[c]; !math.IsNaN(p) {
+				sum += p
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// choices materialises task t's candidate list in deterministic order
+// (the map-keyed gather's order), appending to buf. Only the parallel
+// placement path needs the slice form; the scalar walks iterate the
+// matrix directly.
+func (cm *CostMatrix) choices(t int, buf []Choice) []Choice {
+	row := cm.row(t)
+	for _, b := range cm.blocks {
+		if b.fallback != nil {
+			if c := b.fallback[t]; c.Host != "" {
+				buf = append(buf, c)
+			}
+			continue
+		}
+		for c := b.col0; c < b.col1; c++ {
+			if p := row[c]; !math.IsNaN(p) {
+				buf = append(buf, Choice{Site: b.name, Host: cm.hosts[c].Host, Predicted: p})
+			}
+		}
+	}
+	return buf
+}
+
+// SiteError records one site dropped from a gather and why.
+type SiteError struct {
+	Site string
+	Err  error
+}
+
+func (e SiteError) Error() string { return fmt.Sprintf("site %s: %v", e.Site, e.Err) }
+
+// Unwrap exposes the underlying selector error to errors.Is/As.
+func (e SiteError) Unwrap() error { return e.Err }
+
+// Diagnostics collects per-site gather outcomes. Attach one to
+// Request.Diag to observe which sites were dropped and whether the drop
+// was structural (the site cannot host some task — the multicast
+// semantics say skip it) or transient (an RPC failure, a repository
+// error): transient drops silently lose capacity, so they are
+// distinguished and surfaced instead of vanishing. Safe for the
+// concurrent gather workers to record into. A collector accumulates
+// across every schedule that shares the Request — attach a fresh one per
+// episode when per-run attribution matters.
+type Diagnostics struct {
+	mu         sync.Mutex
+	cannotHost []SiteError
+	transient  []SiteError
+}
+
+// record classifies err: anything wrapping ErrNoEligibleHost is a
+// capacity refusal, everything else is transient.
+func (d *Diagnostics) record(site string, err error) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if errors.Is(err, ErrNoEligibleHost) {
+		d.cannotHost = append(d.cannotHost, SiteError{Site: site, Err: err})
+	} else {
+		d.transient = append(d.transient, SiteError{Site: site, Err: err})
+	}
+}
+
+// CannotHost returns the sites dropped because some task had no eligible
+// host there, in record order.
+func (d *Diagnostics) CannotHost() []SiteError {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]SiteError(nil), d.cannotHost...)
+}
+
+// Transient returns the sites dropped for non-capacity reasons (RPC or
+// repository failures) — capacity the schedule lost without knowing.
+func (d *Diagnostics) Transient() []SiteError {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]SiteError(nil), d.transient...)
+}
+
+// noSitesErr builds the terminal error for a gather that kept no site:
+// plain ErrNoSites when every drop was structural, THIS gather's transient
+// failures joined in when capacity was lost to them. (Request.Diag may
+// span many schedules; the terminal error must only carry the current
+// gather's losses.)
+func noSitesErr(transient []SiteError) error {
+	if len(transient) == 0 {
+		return ErrNoSites
+	}
+	errs := make([]error, 0, len(transient)+1)
+	errs = append(errs, ErrNoSites)
+	for _, e := range transient {
+		errs = append(errs, e)
+	}
+	return errors.Join(errs...)
+}
+
+// CostCache shares cost matrices across schedules of the same graph: one
+// batched gather per (graph, environment) instead of one per policy per
+// graph. Keys are graph identities, so a cache must not outlive its
+// environment — a repository or network change invalidates every entry.
+// Batch installs one automatically for Bind-wrapped policies; comparison
+// harnesses share one across policies explicitly (WithCostCache).
+type CostCache struct {
+	mu sync.Mutex
+	m  map[*afg.Graph]*CostMatrix
+}
+
+// NewCostCache returns an empty cache.
+func NewCostCache() *CostCache {
+	return &CostCache{m: make(map[*afg.Graph]*CostMatrix)}
+}
+
+// costMatrix returns the request's cost matrix, from Config.Costs when the
+// graph was already gathered, else via a fresh batched gather (published
+// to the cache afterwards).
+func (r *Request) costMatrix(ix *afg.Index) (*CostMatrix, error) {
+	cache := r.Config.Costs
+	if cache != nil {
+		cache.mu.Lock()
+		cm, ok := cache.m[r.Graph]
+		cache.mu.Unlock()
+		if ok && cm.ix == ix {
+			return cm, nil
+		}
+	}
+	cm, err := gatherCostMatrix(ix, r)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.mu.Lock()
+		cache.m[r.Graph] = cm
+		cache.mu.Unlock()
+	}
+	return cm, nil
+}
+
+// PrewarmCosts gathers the request graph's cost matrix into Config.Costs
+// ahead of scheduling. Comparison harnesses that share one cache across
+// policies call it before timing, so the batched gather is charged to
+// setup rather than to whichever matrix-consuming policy happens to run
+// first. A no-op without a cache.
+func (r *Request) PrewarmCosts() error {
+	if r.Config.Costs == nil {
+		return nil
+	}
+	ix, err := r.Graph.Index()
+	if err != nil {
+		return err
+	}
+	_, err = r.costMatrix(ix)
+	return err
+}
+
+// gatherCostMatrix is the dense successor of the map-keyed candidate
+// gather: every site's per-task host offers — full per-host cost vectors
+// from HostCosters, the single best choice from plain selectors — fanned
+// out across Config.Concurrency workers and merged deterministically in
+// site-name order into one contiguous matrix. A site that cannot host some
+// task is dropped, mirroring the Site Scheduler's multicast semantics; a
+// site failing for any other reason is dropped too, but recorded as a
+// transient loss on Request.Diag rather than vanishing silently.
+func gatherCostMatrix(ix *afg.Index, req *Request) (*CostMatrix, error) {
+	if req.Local == nil {
+		return nil, ErrNoSites
+	}
+	selectors := append([]HostSelector{req.Local},
+		nearestSelectors(req.Local, req.Remotes, req.Net, req.Config.K)...)
+
+	// One gathered block per selector; merged in site-name order below.
+	type gathered struct {
+		name     string
+		hosts    []string  // per-host sites: column host names, ascending
+		pred     []float64 // V×len(hosts), NaN = ineligible
+		fallback []Choice  // plain sites: idx-addressed best offers
+		err      error
+	}
+	per := make([]gathered, len(selectors))
+	gather := func(i int, sel HostSelector) {
+		per[i].name = sel.SiteName()
+		if dc, ok := sel.(denseCoster); ok {
+			per[i].hosts, per[i].pred, per[i].err = dc.denseHostCosts(ix)
+			return
+		}
+		if hc, ok := sel.(HostCoster); ok {
+			m, err := hc.HostCosts(req.Graph)
+			if err != nil {
+				per[i].err = err
+				return
+			}
+			per[i].hosts, per[i].pred = denseFromCostMap(ix, m)
+			return
+		}
+		m, err := sel.SelectHosts(req.Graph)
+		if err != nil {
+			per[i].err = err
+			return
+		}
+		per[i].fallback = denseChoices(ix, m)
+	}
+	workers := req.Config.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selectors) {
+		workers = len(selectors)
+	}
+	if workers <= 1 {
+		for i, sel := range selectors {
+			gather(i, sel)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, sel := range selectors {
+			wg.Add(1)
+			go func(i int, sel HostSelector) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				gather(i, sel)
+			}(i, sel)
+		}
+		wg.Wait()
+	}
+
+	keep := per[:0]
+	var transient []SiteError
+	for _, g := range per {
+		if g.err != nil {
+			req.Diag.record(g.name, g.err)
+			if !errors.Is(g.err, ErrNoEligibleHost) {
+				transient = append(transient, SiteError{Site: g.name, Err: g.err})
+			}
+			continue
+		}
+		keep = append(keep, g)
+	}
+	if len(keep) == 0 {
+		return nil, noSitesErr(transient)
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].name < keep[j].name })
+
+	v := ix.Len()
+	cm := &CostMatrix{ix: ix, col: map[string]int32{}}
+	total := 0
+	for _, g := range keep {
+		total += len(g.hosts)
+	}
+	cm.pred = make([]float64, v*total)
+	for i := range cm.pred {
+		cm.pred[i] = math.NaN()
+	}
+	for _, g := range keep {
+		cm.sites = append(cm.sites, g.name)
+		b := siteBlock{name: g.name, col0: int32(len(cm.hosts)), fallback: g.fallback}
+		for _, h := range g.hosts {
+			cm.col[h] = int32(len(cm.hosts))
+			cm.hosts = append(cm.hosts, HostRef{Site: g.name, Host: h})
+		}
+		b.col1 = int32(len(cm.hosts))
+		// Both sides are row-major, so each task's site block moves as
+		// one contiguous copy.
+		for t := 0; t < v; t++ {
+			copy(cm.pred[t*total+int(b.col0):t*total+int(b.col1)],
+				g.pred[t*len(g.hosts):(t+1)*len(g.hosts)])
+		}
+		cm.blocks = append(cm.blocks, b)
+	}
+	return cm, nil
+}
+
+// denseChoices flattens a per-task choice map onto the dense index (an
+// empty Host marks "no offer"); ids the index does not know are dropped.
+func denseChoices(ix *afg.Index, m map[afg.TaskID]Choice) []Choice {
+	out := make([]Choice, ix.Len())
+	for id, c := range m {
+		if t := ix.Of(id); t >= 0 {
+			out[t] = c
+		}
+	}
+	return out
+}
+
+// denseFromCostMap flattens a HostCosts map into a per-site dense block:
+// the column set is the union of offered hosts (ascending), predictions
+// fill in per task, NaN where a host was not offered.
+func denseFromCostMap(ix *afg.Index, m map[afg.TaskID][]Choice) (hosts []string, pred []float64) {
+	seen := map[string]int{}
+	for _, cs := range m {
+		for _, c := range cs {
+			if _, ok := seen[c.Host]; !ok {
+				seen[c.Host] = 0
+				hosts = append(hosts, c.Host)
+			}
+		}
+	}
+	sort.Strings(hosts)
+	for k, h := range hosts {
+		seen[h] = k
+	}
+	v := ix.Len()
+	pred = make([]float64, v*len(hosts))
+	for i := range pred {
+		pred[i] = math.NaN()
+	}
+	for id, cs := range m {
+		t := ix.Of(id)
+		if t < 0 {
+			continue
+		}
+		for _, c := range cs {
+			pred[t*len(hosts)+seen[c.Host]] = c.Predicted
+		}
+	}
+	return hosts, pred
+}
+
+// denseCoster is the batched twin of HostCoster: per-task predictions for
+// every eligible host at the site, written straight into a dense block
+// (hosts ascending by name; V×H prediction slab, NaN = ineligible) with no
+// per-task map or slice allocation. LocalSelector implements it; the
+// gather falls back to HostCosts / SelectHosts for everything else.
+type denseCoster interface {
+	denseHostCosts(ix *afg.Index) (hosts []string, pred []float64, err error)
+}

@@ -4,11 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/afg"
+	"repro/internal/minheap"
 	"repro/internal/netsim"
 )
 
@@ -25,88 +24,13 @@ import (
 //     single host minimising the path's total execution, everything else
 //     placed by earliest finish time.
 //
-// Both gather per-(task, host) costs through the HostCoster extension when
-// a site's selector supports it (every in-process LocalSelector does) and
-// fall back to the site's single best SelectHosts offer otherwise (RPC
-// remotes), and both charge inter-site communication through the netsim
-// transfer model.
-
-// collectCandidates gathers every site's per-task host offers — full
-// per-host cost vectors from HostCosters, the single best choice from plain
-// selectors — fanning out across Config.Concurrency workers and merging
-// deterministically in site-name order. A site that fails (a task it cannot
-// host) is dropped, mirroring the Site Scheduler's multicast semantics.
-func collectCandidates(g *afg.Graph, req *Request) (map[afg.TaskID][]Choice, error) {
-	if req.Local == nil {
-		return nil, ErrNoSites
-	}
-	selectors := append([]HostSelector{req.Local},
-		nearestSelectors(req.Local, req.Remotes, req.Net, req.Config.K)...)
-
-	perSite := make([]map[afg.TaskID][]Choice, len(selectors))
-	gather := func(i int, sel HostSelector) {
-		if hc, ok := sel.(HostCoster); ok {
-			if m, err := hc.HostCosts(g); err == nil {
-				perSite[i] = m
-			}
-			return
-		}
-		if m, err := sel.SelectHosts(g); err == nil {
-			cs := make(map[afg.TaskID][]Choice, len(m))
-			for id, c := range m {
-				cs[id] = []Choice{c}
-			}
-			perSite[i] = cs
-		}
-	}
-	workers := req.Config.Concurrency
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(selectors) {
-		workers = len(selectors)
-	}
-	if workers <= 1 {
-		for i, sel := range selectors {
-			gather(i, sel)
-		}
-	} else {
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i, sel := range selectors {
-			wg.Add(1)
-			go func(i int, sel HostSelector) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				gather(i, sel)
-			}(i, sel)
-		}
-		wg.Wait()
-	}
-
-	type named struct {
-		name string
-		cs   map[afg.TaskID][]Choice
-	}
-	var sites []named
-	for i, sel := range selectors {
-		if perSite[i] != nil {
-			sites = append(sites, named{sel.SiteName(), perSite[i]})
-		}
-	}
-	if len(sites) == 0 {
-		return nil, ErrNoSites
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
-	out := make(map[afg.TaskID][]Choice, g.Len())
-	for _, s := range sites {
-		for id, cs := range s.cs {
-			out[id] = append(out[id], cs...)
-		}
-	}
-	return out, nil
-}
+// Both run on the dense scheduling core: per-(task, host) costs come from
+// the request's CostMatrix (one batched gather, shared across policies via
+// CostCache), ranks and placement state are slice-indexed through the
+// graph's dense Index, and host timelines find insertion gaps by binary
+// search. The original map-keyed implementations are retained in
+// oracle_test.go; equivalence tests prove the dense paths produce
+// identical allocation tables.
 
 // commModel is the environment-average communication cost the rank
 // computations use (the classic HEFT "average transfer rate" treatment):
@@ -121,26 +45,18 @@ func (m commModel) cost(bytes int64) float64 {
 	return m.latency + float64(bytes)*m.perByte
 }
 
-// averageComm derives the commModel from the sites present in the
-// candidate map. No network, or a single site, means communication is free.
-func averageComm(net *netsim.Network, cands map[afg.TaskID][]Choice) commModel {
-	if net == nil {
+// averageComm derives the commModel from the participating sites. No
+// network, or a single site, means communication is free.
+func averageComm(net *netsim.Network, sites []string) commModel {
+	if net == nil || len(sites) < 2 {
 		return commModel{}
 	}
-	seen := map[string]bool{}
-	var names []string
-	for _, cs := range cands {
-		for _, c := range cs {
-			if !seen[c.Site] {
-				seen[c.Site] = true
-				names = append(names, c.Site)
-			}
-		}
-	}
-	if len(names) < 2 {
-		return commModel{}
-	}
-	sort.Strings(names)
+	return commFromNames(net, sites)
+}
+
+// commFromNames averages the probe-measured latency and per-byte cost over
+// every ordered site pair. names must be sorted and len ≥ 2.
+func commFromNames(net *netsim.Network, names []string) commModel {
 	const probe = 1 << 20
 	var lat, perByte float64
 	pairs := 0
@@ -158,66 +74,51 @@ func averageComm(net *netsim.Network, cands map[afg.TaskID][]Choice) commModel {
 	return commModel{latency: lat / float64(pairs), perByte: perByte / float64(pairs)}
 }
 
-// meanExec is w̄(t): the predicted execution averaged over all candidates.
-func meanExec(cs []Choice) float64 {
-	if len(cs) == 0 {
-		return 0
-	}
-	var sum float64
-	for _, c := range cs {
-		sum += c.Predicted
-	}
-	return sum / float64(len(cs))
-}
-
 // upwardRanks computes rank_u(t) = w̄(t) + max over children of
 // (c̄(t, child) + rank_u(child)) — the length of the most expensive path
-// from t to an exit, in mean costs.
-func upwardRanks(g *afg.Graph, cands map[afg.TaskID][]Choice, cm commModel) (map[afg.TaskID]float64, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	rank := make(map[afg.TaskID]float64, len(order))
-	for i := len(order) - 1; i >= 0; i-- {
-		id := order[i]
+// from t to an exit, in mean costs — as a dense slice over the matrix.
+func upwardRanks(cm *CostMatrix, c commModel) []float64 {
+	ix := cm.ix
+	topo := ix.Topo()
+	rank := make([]float64, ix.Len())
+	for k := len(topo) - 1; k >= 0; k-- {
+		i := topo[k]
 		var best float64
-		for _, l := range g.Children(id) {
-			if v := cm.cost(transferBytes(g, l)) + rank[l.To]; v > best {
+		for _, a := range ix.Children(int(i)) {
+			if v := c.cost(a.Bytes) + rank[a.Peer]; v > best {
 				best = v
 			}
 		}
-		rank[id] = meanExec(cands[id]) + best
+		rank[i] = cm.meanExec(int(i)) + best
 	}
-	return rank, nil
+	return rank
 }
 
 // downwardRanks computes rank_d(t) = max over parents of
 // (rank_d(parent) + w̄(parent) + c̄(parent, t)); entry tasks rank 0.
-func downwardRanks(g *afg.Graph, cands map[afg.TaskID][]Choice, cm commModel) (map[afg.TaskID]float64, error) {
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	rank := make(map[afg.TaskID]float64, len(order))
-	for _, id := range order {
+func downwardRanks(cm *CostMatrix, c commModel) []float64 {
+	ix := cm.ix
+	rank := make([]float64, ix.Len())
+	for _, i := range ix.Topo() {
 		var best float64
-		for _, l := range g.Parents(id) {
-			v := rank[l.From] + meanExec(cands[l.From]) + cm.cost(transferBytes(g, l))
+		for _, a := range ix.Parents(int(i)) {
+			v := rank[a.Peer] + cm.meanExec(int(a.Peer)) + c.cost(a.Bytes)
 			if v > best {
 				best = v
 			}
 		}
-		rank[id] = best
+		rank[i] = best
 	}
-	return rank, nil
+	return rank
 }
 
-// byRankDesc orders task ids by descending rank, id ascending on ties.
-// With strictly positive execution costs, rank_u strictly decreases along
-// every edge, so this order schedules parents before children.
-func byRankDesc(ids []afg.TaskID, rank map[afg.TaskID]float64) []afg.TaskID {
-	out := append([]afg.TaskID(nil), ids...)
+// rankOrderDesc returns dense task indices by descending rank, index
+// (= ascending TaskID) on ties.
+func rankOrderDesc(rank []float64) []int32 {
+	out := make([]int32, len(rank))
+	for i := range out {
+		out[i] = int32(i)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		ri, rj := rank[out[i]], rank[out[j]]
 		if ri != rj {
@@ -240,10 +141,14 @@ type timeline struct {
 
 // earliest returns the insertion-based earliest start at or after ready
 // with room for dur: the first idle gap (or the end of the schedule) that
-// fits the task.
+// fits the task. Spans ending at or before ready can neither host the gap
+// nor push the start, so the scan begins at the first span still live at
+// ready — found by binary search — instead of walking the whole timeline.
 func (t *timeline) earliest(ready, dur float64) float64 {
+	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].end > ready })
 	start := ready
-	for _, s := range t.busy {
+	for ; i < len(t.busy); i++ {
+		s := t.busy[i]
 		if start+dur <= s.start {
 			break
 		}
@@ -270,57 +175,96 @@ func (t *timeline) add(start, end float64) {
 	t.busy[i] = span{start, end}
 }
 
-// placement is the shared HEFT/CPOP scheduling state: per-host timelines
-// (seeded lazily from the shared ledger's cross-application reservations),
-// per-task estimated finishes, and the allocation table under construction.
+// placement is the shared HEFT/CPOP scheduling state, slice-indexed end to
+// end: per-host-column timelines (seeded from one bulk ledger snapshot),
+// per-task estimated finishes and assigned host sets by dense task index,
+// and the allocation table under construction. Hosts offered only through
+// a fallback site's opaque choices get map-keyed overflow timelines.
 type placement struct {
-	g      *afg.Graph
-	net    *netsim.Network
-	ledger *LoadLedger
-	lines  map[string]*timeline
-	finish map[afg.TaskID]float64
+	cm    *CostMatrix
+	net   *netsim.Network
+	ledg  *LoadLedger
+	lines []timeline
+	canon []int32 // column -> canonical column for its host NAME
+	extra map[string]*timeline
+
+	finish []float64
+	site   []string   // assigned site per task; "" = unplaced
+	hosts  [][]string // assigned host set per task
 	table  *AllocationTable
+
+	choiceBuf []Choice // scratch for the parallel placement path
 }
 
-func newPlacement(g *afg.Graph, net *netsim.Network, ledger *LoadLedger) *placement {
-	return &placement{
-		g:      g,
+func newPlacement(cm *CostMatrix, app string, net *netsim.Network, ledger *LoadLedger) *placement {
+	n := cm.ix.Len()
+	p := &placement{
+		cm:     cm,
 		net:    net,
-		ledger: ledger,
-		lines:  make(map[string]*timeline),
-		finish: make(map[afg.TaskID]float64, g.Len()),
-		table:  NewAllocationTable(g.Name),
+		ledg:   ledger,
+		lines:  make([]timeline, len(cm.hosts)),
+		canon:  make([]int32, len(cm.hosts)),
+		finish: make([]float64, n),
+		site:   make([]string, n),
+		hosts:  make([][]string, n),
+		table:  NewAllocationTable(app),
 	}
+	// A host NAME owns one timeline, however many sites offer it (the
+	// map-keyed path keyed timelines by name): every column resolves to
+	// the name's canonical column, and only canonical lines are used.
+	for c := range p.canon {
+		p.canon[c] = p.cm.col[cm.hosts[c].Host]
+	}
+	if ledger != nil {
+		view := ledger.View()
+		view.Refresh()
+		for c := range p.lines {
+			if int32(c) != p.canon[c] {
+				continue
+			}
+			if busy := view.Busy(cm.hosts[c].Host); busy > 0 {
+				p.lines[c].busy = append(p.lines[c].busy, span{0, busy})
+			}
+		}
+	}
+	return p
 }
 
+// line resolves a host name to its timeline: the dense column when the
+// matrix knows the host, a lazily created overflow line otherwise.
 func (p *placement) line(host string) *timeline {
-	t, ok := p.lines[host]
+	if c, ok := p.cm.col[host]; ok {
+		return &p.lines[c]
+	}
+	t, ok := p.extra[host]
 	if !ok {
 		t = &timeline{}
-		if p.ledger != nil {
-			if busy := p.ledger.Busy(host); busy > 0 {
+		if p.ledg != nil {
+			if busy := p.ledg.Busy(host); busy > 0 {
 				t.busy = append(t.busy, span{0, busy})
 			}
 		}
-		p.lines[host] = t
+		if p.extra == nil {
+			p.extra = map[string]*timeline{}
+		}
+		p.extra[host] = t
 	}
 	return t
 }
 
-// readyAt is the data-ready time of a task on the given host set at site:
+// readyAt is the data-ready time of task t on the given host set at site:
 // every scheduled parent's estimated finish, plus the inter-site transfer
 // unless a host is shared with the parent.
-func (p *placement) readyAt(id afg.TaskID, site string, hosts []string) float64 {
+func (p *placement) readyAt(t int, site string, hosts []string) float64 {
 	var ready float64
-	for _, l := range p.g.Parents(id) {
-		parent, ok := p.table.Get(l.From)
-		if !ok {
-			continue // impossible in rank/ready order; harmless if it were
+	for _, a := range p.cm.ix.Parents(t) {
+		if p.site[a.Peer] == "" {
+			continue // unplaced parent (possible only on rank ties); skip
 		}
-		arrive := p.finish[l.From]
+		arrive := p.finish[a.Peer]
 		if p.net != nil {
-			if bytes := transferBytes(p.g, l); bytes > 0 && !sharesHost(effectiveHosts(parent), hosts) {
-				arrive += p.net.TransferTime(parent.Site, site, bytes).Seconds()
+			if a.Bytes > 0 && !sharesHost(p.hosts[a.Peer], hosts) {
+				arrive += p.net.TransferTime(p.site[a.Peer], site, a.Bytes).Seconds()
 			}
 		}
 		if arrive > ready {
@@ -331,41 +275,58 @@ func (p *placement) readyAt(id afg.TaskID, site string, hosts []string) float64 
 }
 
 // place schedules one task on the candidate minimising insertion-based
-// earliest finish time. restrict, when non-nil, limits the hosts considered
-// (CPOP's critical-path pinning); if it excludes every candidate, placement
+// earliest finish time, walking the matrix row in deterministic site/host
+// order. restrict, when non-nil, limits the hosts considered (CPOP's
+// critical-path pinning); if it excludes every candidate, placement
 // retries unrestricted rather than failing the application.
-func (p *placement) place(id afg.TaskID, cands []Choice, restrict map[string]bool) error {
-	task := p.g.Task(id)
+func (p *placement) place(t int, restrict map[string]bool) error {
+	task := p.cm.ix.Task(t)
 	if task.Mode == afg.Parallel && task.Processors > 1 {
-		return p.placeParallel(id, task, cands, restrict)
+		return p.placeParallel(t, task, restrict)
 	}
 	var best Choice
 	var bestStart float64
 	bestFinish := math.Inf(1)
 	found := false
-	for _, c := range cands {
-		if restrict != nil && !restrict[c.Host] {
+	var hostBuf [1]string
+	row := p.cm.row(t)
+	for _, b := range p.cm.blocks {
+		if b.fallback != nil {
+			c := b.fallback[t]
+			if c.Host == "" || (restrict != nil && !restrict[c.Host]) {
+				continue
+			}
+			hostBuf[0] = c.Host
+			ready := p.readyAt(t, c.Site, hostBuf[:])
+			start := p.line(c.Host).earliest(ready, c.Predicted)
+			p.consider(&best, &bestStart, &bestFinish, &found,
+				Choice{Site: c.Site, Host: c.Host, Predicted: c.Predicted}, start)
 			continue
 		}
-		ready := p.readyAt(id, c.Site, []string{c.Host})
-		start := p.line(c.Host).earliest(ready, c.Predicted)
-		fin := start + c.Predicted
-		better := fin < bestFinish
-		if fin == bestFinish {
-			better = c.Site < best.Site || (c.Site == best.Site && c.Host < best.Host)
-		}
-		if better {
-			best, bestStart, bestFinish, found = c, start, fin, true
+		for col := b.col0; col < b.col1; col++ {
+			pr := row[col]
+			if math.IsNaN(pr) {
+				continue
+			}
+			host := p.cm.hosts[col].Host
+			if restrict != nil && !restrict[host] {
+				continue
+			}
+			hostBuf[0] = host
+			ready := p.readyAt(t, b.name, hostBuf[:])
+			start := p.lines[p.canon[col]].earliest(ready, pr)
+			p.consider(&best, &bestStart, &bestFinish, &found,
+				Choice{Site: b.name, Host: host, Predicted: pr}, start)
 		}
 	}
 	if !found {
 		if restrict != nil {
-			return p.place(id, cands, nil)
+			return p.place(t, nil)
 		}
-		return fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+		return fmt.Errorf("%w: %q", ErrNoEligibleHost, p.cm.ix.ID(t))
 	}
-	p.commit(id, Assignment{
-		Task:      id,
+	p.commit(t, Assignment{
+		Task:      p.cm.ix.ID(t),
 		Site:      best.Site,
 		Host:      best.Host,
 		Hosts:     []string{best.Host},
@@ -374,12 +335,27 @@ func (p *placement) place(id afg.TaskID, cands []Choice, restrict map[string]boo
 	return nil
 }
 
+// consider folds one candidate into the running minimum with the map
+// path's exact tie-break: earliest finish, then site name, then host name.
+func (p *placement) consider(best *Choice, bestStart, bestFinish *float64, found *bool, c Choice, start float64) {
+	fin := start + c.Predicted
+	better := fin < *bestFinish
+	if fin == *bestFinish {
+		better = c.Site < best.Site || (c.Site == best.Site && c.Host < best.Host)
+	}
+	if better {
+		*best, *bestStart, *bestFinish, *found = c, start, fin, true
+	}
+}
+
 // placeParallel handles parallel-mode tasks: within each candidate site,
 // take the task.Processors hosts that free up earliest (appending after
 // their last reservation — gaps rarely align across a whole machine set),
 // charge the slowest member's prediction split n ways, and pick the site
 // with the earliest finish.
-func (p *placement) placeParallel(id afg.TaskID, task *afg.Task, cands []Choice, restrict map[string]bool) error {
+func (p *placement) placeParallel(t int, task *afg.Task, restrict map[string]bool) error {
+	p.choiceBuf = p.cm.choices(t, p.choiceBuf[:0])
+	cands := p.choiceBuf
 	bySite := map[string][]Choice{}
 	var siteNames []string
 	for _, c := range cands {
@@ -393,9 +369,9 @@ func (p *placement) placeParallel(id afg.TaskID, task *afg.Task, cands []Choice,
 	}
 	if len(bySite) == 0 {
 		if restrict != nil {
-			return p.placeParallel(id, task, cands, nil)
+			return p.placeParallel(t, task, nil)
 		}
-		return fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+		return fmt.Errorf("%w: %q", ErrNoEligibleHost, p.cm.ix.ID(t))
 	}
 	sort.Strings(siteNames)
 
@@ -429,21 +405,23 @@ func (p *placement) placeParallel(id afg.TaskID, task *afg.Task, cands []Choice,
 			}
 		}
 		pred := maxPred / float64(n)
-		start := math.Max(p.readyAt(id, site, hosts), free)
+		start := math.Max(p.readyAt(t, site, hosts), free)
 		fin := start + pred
 		if fin < bestFinish || (fin == bestFinish && site < bestAssign.Site) {
-			bestAssign = Assignment{Task: id, Site: site, Host: hosts[0], Hosts: hosts, Predicted: pred}
+			bestAssign = Assignment{Task: p.cm.ix.ID(t), Site: site, Host: hosts[0], Hosts: hosts, Predicted: pred}
 			bestStart, bestFinish = start, fin
 		}
 	}
-	p.commit(id, bestAssign, bestStart, bestFinish)
+	p.commit(t, bestAssign, bestStart, bestFinish)
 	return nil
 }
 
-func (p *placement) commit(id afg.TaskID, a Assignment, start, fin float64) {
+func (p *placement) commit(t int, a Assignment, start, fin float64) {
 	p.table.Set(a)
-	p.finish[id] = fin
-	for _, h := range effectiveHosts(a) {
+	p.finish[t] = fin
+	p.site[t] = a.Site
+	p.hosts[t] = effectiveHosts(a)
+	for _, h := range p.hosts[t] {
 		p.line(h).add(start, fin)
 	}
 }
@@ -452,15 +430,33 @@ func (p *placement) commit(id afg.TaskID, a Assignment, start, fin float64) {
 // the shared ledger, so concurrent applications in the same batch spread
 // around this one. Done once, after the whole schedule succeeds.
 func (p *placement) reserveLedger() {
-	if p.ledger == nil {
+	if p.ledg == nil {
 		return
 	}
 	for _, id := range p.table.Order() {
 		a, _ := p.table.Get(id)
 		for _, h := range effectiveHosts(a) {
-			p.ledger.Reserve(h, a.Predicted)
+			p.ledg.Reserve(h, a.Predicted)
 		}
 	}
+}
+
+// densePrep validates the graph and assembles the dense inputs shared by
+// HEFT and CPOP: the index, the (possibly cached) cost matrix, and the
+// environment-average communication model.
+func densePrep(req *Request) (*afg.Index, *CostMatrix, commModel, error) {
+	if req.Graph.Len() == 0 {
+		return nil, nil, commModel{}, afg.ErrEmpty
+	}
+	ix, err := req.Graph.Index()
+	if err != nil {
+		return nil, nil, commModel{}, err
+	}
+	cm, err := req.costMatrix(ix)
+	if err != nil {
+		return nil, nil, commModel{}, err
+	}
+	return ix, cm, averageComm(req.Net, cm.sites), nil
 }
 
 // heftPolicy is the registered "heft" policy.
@@ -472,25 +468,17 @@ func (heftPolicy) Name() string { return "heft" }
 // Schedule implements Policy: upward-rank order, insertion-based earliest
 // finish placement.
 func (heftPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
-	g := req.Graph
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	cands, err := collectCandidates(g, req)
+	_, cm, c, err := densePrep(req)
 	if err != nil {
 		return nil, err
 	}
-	cm := averageComm(req.Net, cands)
-	rank, err := upwardRanks(g, cands, cm)
-	if err != nil {
-		return nil, err
-	}
-	p := newPlacement(g, req.Net, req.Config.Ledger)
-	for _, id := range byRankDesc(g.TaskIDs(), rank) {
+	rank := upwardRanks(cm, c)
+	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger)
+	for _, t := range rankOrderDesc(rank) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := p.place(id, cands[id], nil); err != nil {
+		if err := p.place(int(t), nil); err != nil {
 			return nil, err
 		}
 	}
@@ -509,57 +497,52 @@ func (cpopPolicy) Name() string { return "cpop" }
 // minimising its total execution; everything else places by earliest
 // finish time in ready-set priority order.
 func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
-	g := req.Graph
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	cands, err := collectCandidates(g, req)
+	ix, cm, c, err := densePrep(req)
 	if err != nil {
 		return nil, err
 	}
-	cm := averageComm(req.Net, cands)
-	up, err := upwardRanks(g, cands, cm)
-	if err != nil {
-		return nil, err
-	}
-	down, err := downwardRanks(g, cands, cm)
-	if err != nil {
-		return nil, err
-	}
-	prio := make(map[afg.TaskID]float64, g.Len())
-	for _, id := range g.TaskIDs() {
-		prio[id] = up[id] + down[id]
+	up := upwardRanks(cm, c)
+	down := downwardRanks(cm, c)
+	prio := up
+	for i := range prio {
+		prio[i] += down[i]
 	}
 
-	cp := criticalPath(g, prio)
-	restrict := criticalHost(cands, cp)
+	cp := criticalPath(ix, prio)
+	restrict := criticalHost(cm, cp)
 
-	p := newPlacement(g, req.Net, req.Config.Ledger)
-	tracker := afg.NewTracker(g)
-	for !tracker.AllDone() {
+	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger)
+	n := ix.Len()
+	pending := make([]int32, n)
+	var ready prioHeap
+	for i := 0; i < n; i++ {
+		pending[i] = int32(ix.NumParents(i))
+		if pending[i] == 0 {
+			ready = append(ready, prioItem{prio[i], int32(i)})
+		}
+	}
+	ready.Init()
+	for done := 0; done < n; done++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ready := tracker.Ready()
 		if len(ready) == 0 {
-			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", n-done)
 		}
-		sort.Slice(ready, func(i, j int) bool {
-			pi, pj := prio[ready[i]], prio[ready[j]]
-			if pi != pj {
-				return pi > pj
-			}
-			return ready[i] < ready[j]
-		})
-		id := ready[0]
+		t := int(ready.Pop().idx)
 		var pin map[string]bool
-		if cp[id] {
+		if cp[t] {
 			pin = restrict
 		}
-		if err := p.place(id, cands[id], pin); err != nil {
+		if err := p.place(t, pin); err != nil {
 			return nil, err
 		}
-		tracker.Complete(id)
+		for _, a := range ix.Children(t) {
+			pending[a.Peer]--
+			if pending[a.Peer] == 0 {
+				ready.Push(prioItem{prio[a.Peer], a.Peer})
+			}
+		}
 	}
 	p.reserveLedger()
 	return p.table, nil
@@ -567,32 +550,32 @@ func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 
 // criticalPath walks one maximum-priority chain from the highest-priority
 // entry task to an exit: at every step the child whose priority is largest
-// (the critical child) extends the path.
-func criticalPath(g *afg.Graph, prio map[afg.TaskID]float64) map[afg.TaskID]bool {
-	var cur afg.TaskID
+// (the critical child) extends the path. cp[i] marks membership.
+func criticalPath(ix *afg.Index, prio []float64) []bool {
+	cp := make([]bool, ix.Len())
+	cur := -1
 	best := math.Inf(-1)
-	for _, id := range g.Entries() {
-		if p := prio[id]; p > best || (p == best && id < cur) {
-			cur, best = id, p
+	for i := 0; i < ix.Len(); i++ {
+		if ix.NumParents(i) == 0 && prio[i] > best {
+			cur, best = i, prio[i]
 		}
 	}
-	cp := map[afg.TaskID]bool{}
-	if best == math.Inf(-1) {
+	if cur < 0 {
 		return cp
 	}
 	cp[cur] = true
 	for {
-		children := g.Children(cur)
+		children := ix.Children(cur)
 		if len(children) == 0 {
 			return cp
 		}
-		next := children[0].To
-		for _, l := range children[1:] {
-			if prio[l.To] > prio[next] || (prio[l.To] == prio[next] && l.To < next) {
-				next = l.To
+		next := children[0].Peer
+		for _, a := range children[1:] {
+			if prio[a.Peer] > prio[next] || (prio[a.Peer] == prio[next] && a.Peer < next) {
+				next = a.Peer
 			}
 		}
-		cur = next
+		cur = int(next)
 		cp[cur] = true
 	}
 }
@@ -601,14 +584,19 @@ func criticalPath(g *afg.Graph, prio map[afg.TaskID]float64) map[afg.TaskID]bool
 // every critical task, the one minimising the path's summed prediction
 // (most-covering, then cheapest, then name, when no host covers them all).
 // Returns a restrict set for placement, nil when there are no candidates.
-func criticalHost(cands map[afg.TaskID][]Choice, cp map[afg.TaskID]bool) map[string]bool {
+func criticalHost(cm *CostMatrix, cp []bool) map[string]bool {
 	type agg struct {
 		sum float64
 		cnt int
 	}
 	per := map[string]*agg{}
-	for id := range cp {
-		for _, c := range cands[id] {
+	var buf []Choice
+	for t := range cp {
+		if !cp[t] {
+			continue
+		}
+		buf = cm.choices(t, buf[:0])
+		for _, c := range buf {
 			a := per[c.Host]
 			if a == nil {
 				a = &agg{}
@@ -636,3 +624,21 @@ func criticalHost(cands map[afg.TaskID][]Choice, cp map[afg.TaskID]bool) map[str
 	}
 	return map[string]bool{bestHost: true}
 }
+
+// prioItem orders ready tasks by descending priority, dense index
+// (= ascending TaskID) on ties — the order the map path realised by
+// re-sorting the whole ready set every step. prioHeap is its min-heap.
+type prioItem struct {
+	prio float64
+	idx  int32
+}
+
+// LessThan implements minheap.Ordered.
+func (a prioItem) LessThan(b prioItem) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.idx < b.idx
+}
+
+type prioHeap = minheap.Heap[prioItem]

@@ -1,6 +1,10 @@
 package scheduler
 
-import "sync"
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
 
 // LoadLedger is the shared cross-application view of in-flight placements:
 // for every host it tracks the predicted busy seconds of tasks that have
@@ -8,12 +12,19 @@ import "sync"
 // One ledger threaded through a scheduler.Batch lets concurrent application
 // flow graphs see each other's placements during the availability-aware
 // walk, instead of every walk independently dog-piling the same best
-// machines. It is mutex-guarded: many Schedule goroutines reserve and read
-// concurrently.
+// machines.
 //
 // The ledger is an estimate, not a clock: Busy(h) answers "how many seconds
 // of already-promised work stand between now and h being free", which the
 // availability-aware walk folds into its earliest-finish-time objective.
+//
+// Concurrency: the host map is sharded across independently locked stripes
+// (hosts hash to stripes by name), so concurrent Reserve/Busy traffic from
+// parallel Schedule goroutines contends only when two walks touch hosts on
+// the same stripe — not on one global mutex. A monotonic version counter
+// advances on every mutation; View/Refresh use it to serve bulk snapshots
+// ("what is every host's busy time right now?") without re-reading the
+// stripes when nothing changed.
 //
 // Lifecycle: the built-in users (Batch.Ledger, site.Manager's SharedLedger
 // batches) create one ledger per batch and discard it afterwards —
@@ -23,13 +34,35 @@ import "sync"
 // does so automatically, and unreleased reservations accumulate until
 // every host looks equally busy.
 type LoadLedger struct {
+	version atomic.Uint64
+	shards  [ledgerShards]ledgerShard
+}
+
+const ledgerShards = 32
+
+type ledgerShard struct {
 	mu   sync.Mutex
 	busy map[string]float64 // host -> reserved busy seconds
+	// Pad the 16 bytes of state to a full 64-byte cache line so
+	// neighbouring shards' locks never false-share.
+	_ [48]byte
+}
+
+// ledgerSeed makes the shard hash stable within a process but unpredictable
+// across runs (no host-name distribution can degenerate deterministically).
+var ledgerSeed = maphash.MakeSeed()
+
+func (l *LoadLedger) shard(host string) *ledgerShard {
+	return &l.shards[maphash.String(ledgerSeed, host)%ledgerShards]
 }
 
 // NewLoadLedger returns an empty ledger.
 func NewLoadLedger() *LoadLedger {
-	return &LoadLedger{busy: make(map[string]float64)}
+	l := &LoadLedger{}
+	for i := range l.shards {
+		l.shards[i].busy = make(map[string]float64)
+	}
+	return l
 }
 
 // Reserve records `seconds` of predicted work placed on host.
@@ -37,9 +70,11 @@ func (l *LoadLedger) Reserve(host string, seconds float64) {
 	if seconds <= 0 {
 		return
 	}
-	l.mu.Lock()
-	l.busy[host] += seconds
-	l.mu.Unlock()
+	s := l.shard(host)
+	s.mu.Lock()
+	s.busy[host] += seconds
+	s.mu.Unlock()
+	l.version.Add(1)
 }
 
 // Release removes `seconds` of previously reserved work from host,
@@ -48,18 +83,21 @@ func (l *LoadLedger) Release(host string, seconds float64) {
 	if seconds <= 0 {
 		return
 	}
-	l.mu.Lock()
-	if l.busy[host] -= seconds; l.busy[host] <= 0 {
-		delete(l.busy, host)
+	s := l.shard(host)
+	s.mu.Lock()
+	if s.busy[host] -= seconds; s.busy[host] <= 0 {
+		delete(s.busy, host)
 	}
-	l.mu.Unlock()
+	s.mu.Unlock()
+	l.version.Add(1)
 }
 
 // Busy returns the reserved busy seconds currently standing on host.
 func (l *LoadLedger) Busy(host string) float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.busy[host]
+	s := l.shard(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busy[host]
 }
 
 // ReleaseTable releases every assignment of a completed (or abandoned)
@@ -77,13 +115,91 @@ func (l *LoadLedger) ReleaseTable(t *AllocationTable) {
 }
 
 // Snapshot copies the current host -> busy-seconds map (diagnostics and
-// experiment reporting).
+// experiment reporting). The copy is not atomic across shards: concurrent
+// mutations may land in some shards and not others — the same estimate
+// semantics per-host reads always had.
 func (l *LoadLedger) Snapshot() map[string]float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make(map[string]float64, len(l.busy))
-	for h, b := range l.busy {
-		out[h] = b
-	}
+	out := make(map[string]float64)
+	l.snapshotInto(out)
 	return out
+}
+
+func (l *LoadLedger) snapshotInto(dst map[string]float64) {
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for h, b := range s.busy {
+			dst[h] = b
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Version returns the mutation counter: it advances on every Reserve and
+// Release, so equal versions bracket an unchanged ledger.
+func (l *LoadLedger) Version() uint64 { return l.version.Load() }
+
+// LedgerView is a bulk read-side cache over a ledger: one snapshot of every
+// host's busy seconds, revalidated against the ledger's version counter.
+// The EFT walk refreshes its view once per task and then reads candidates
+// lock-free, instead of taking a ledger lock per (task, candidate) probe.
+// A view expecting its own writes (the walk reserves as it places) absorbs
+// them via its Reserve method, so a serial walk never re-snapshots.
+//
+// Views are single-goroutine; each walk owns its own.
+type LedgerView struct {
+	l      *LoadLedger
+	expect uint64
+	busy   map[string]float64
+	stale  bool
+}
+
+// View returns a fresh view over l, or nil for a nil ledger.
+func (l *LoadLedger) View() *LedgerView {
+	if l == nil {
+		return nil
+	}
+	return &LedgerView{l: l, busy: make(map[string]float64), stale: true}
+}
+
+// Refresh revalidates the view: if the ledger's version moved past what the
+// view expects (a concurrent walk reserved or released), the whole busy
+// table is re-read in one pass over the stripes.
+func (v *LedgerView) Refresh() {
+	if v == nil {
+		return
+	}
+	cur := v.l.version.Load()
+	if !v.stale && cur == v.expect {
+		return
+	}
+	clear(v.busy)
+	v.l.snapshotInto(v.busy)
+	// Expect the version observed BEFORE the snapshot: a mutation racing
+	// the stripe reads may or may not be in the copy, but its bump is
+	// past cur either way, so the next Refresh re-reads rather than
+	// trusting a possibly torn snapshot. (Worst case is one redundant
+	// re-read; the reverse order could absorb a missed write forever.)
+	v.expect = cur
+	v.stale = false
+}
+
+// Busy returns the viewed busy seconds for host (as of the last Refresh).
+func (v *LedgerView) Busy(host string) float64 {
+	if v == nil {
+		return 0
+	}
+	return v.busy[host]
+}
+
+// Reserve forwards to the underlying ledger and keeps the view current:
+// the local copy absorbs the write and the expected version advances, so
+// an uncontended walk's next Refresh is a version check, not a snapshot.
+func (v *LedgerView) Reserve(host string, seconds float64) {
+	if v == nil || seconds <= 0 {
+		return
+	}
+	v.l.Reserve(host, seconds)
+	v.busy[host] += seconds
+	v.expect++
 }

@@ -50,6 +50,13 @@ type Request struct {
 	// LocalSelector among Local/Remotes.
 	Sites map[string]*repository.Repository
 
+	// Diag, when non-nil, collects per-site gather diagnostics: which
+	// sites were dropped from the multicast and whether the drop was a
+	// capacity refusal (the site cannot host some task) or a transient
+	// failure (RPC or repository error) — lost capacity that previously
+	// vanished without trace.
+	Diag *Diagnostics
+
 	// Config tunes the run; build it with NewConfig and the With* options.
 	Config Config
 }
@@ -118,6 +125,12 @@ type Config struct {
 
 	// Seed feeds the randomized policies ("random").
 	Seed int64
+
+	// Costs, when non-nil, shares batched cost-matrix gathers across
+	// schedules of the same graph (HEFT/CPOP): a policy-comparison run
+	// gathers each graph once instead of once per policy. The cache is
+	// keyed by graph identity and must not outlive the environment.
+	Costs *CostCache
 }
 
 // Option mutates a Config (functional options).
@@ -161,6 +174,11 @@ func WithK(k int) Option { return func(c *Config) { c.K = k } }
 // WithSeed seeds the randomized policies.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithCostCache shares one cost-matrix cache across requests built from
+// this config (one batched candidate gather per graph, however many
+// policies schedule it).
+func WithCostCache(cc *CostCache) Option { return func(c *Config) { c.Costs = cc } }
+
 // Bind fixes a policy to an environment, yielding the legacy Scheduler
 // interface: each Schedule(g) call copies env, installs g, and runs the
 // policy. The env's Graph field is ignored. This is how scheduler.Batch and
@@ -188,5 +206,12 @@ func (b *boundPolicy) withLedger(l *LoadLedger) *boundPolicy {
 	c := *b
 	c.env.Config.Ledger = l
 	c.env.Config.EFT = true
+	return &c
+}
+
+// withCosts returns a copy whose runs share the given cost-matrix cache.
+func (b *boundPolicy) withCosts(cc *CostCache) *boundPolicy {
+	c := *b
+	c.env.Config.Costs = cc
 	return &c
 }

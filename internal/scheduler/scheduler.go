@@ -9,6 +9,7 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/afg"
@@ -195,9 +196,12 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 		freeAt = s.Ledger.Snapshot()
 	}
 	out := make(map[afg.TaskID]Choice, g.Len())
+	var buf []scored
 	for _, id := range prio(g.TaskIDs(), levels) {
 		task := g.Task(id)
-		choice, finish, err := s.selectFor(task, resources, queued, freeAt, gens)
+		var choice Choice
+		var finish float64
+		choice, finish, buf, err = s.selectFor(task, resources, queued, freeAt, gens, buf)
 		if err != nil {
 			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, err)
 		}
@@ -213,20 +217,24 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 	return out, nil
 }
 
+// scored is one candidate of a selectFor evaluation.
+type scored struct {
+	host string
+	pred float64 // predicted execution seconds
+	key  float64 // ranking key (finish time in availability mode)
+}
+
 // selectFor evaluates Predict(task, R) for every eligible resource and
 // returns the minimiser — of the prediction alone in the paper-faithful
 // mode, of the earliest finish time (host free time + prediction) in
 // availability-aware mode — plus the estimated finish of the choice.
 // Parallel tasks select task.Processors machines (the paper's "the host
 // selection algorithm is updated to select the number of machines required
-// within the site").
-func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued, freeAt map[string]float64, gens map[string]uint64) (Choice, float64, error) {
-	type scored struct {
-		host string
-		pred float64 // predicted execution seconds
-		key  float64 // ranking key (finish time in availability mode)
-	}
-	var cands []scored
+// within the site"). buf is a caller-owned scratch slice, returned (maybe
+// grown) for reuse across the walk: one site-walk step allocates nothing
+// but the resulting host set.
+func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued, freeAt map[string]float64, gens map[string]uint64, buf []scored) (Choice, float64, []scored, error) {
+	cands := buf[:0]
 	for _, r := range resources {
 		if !s.eligible(task, r) {
 			continue
@@ -240,14 +248,21 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		cands = append(cands, scored{host, pred, key})
 	}
 	if len(cands) == 0 {
-		return Choice{}, 0, ErrNoEligibleHost
+		return Choice{}, 0, cands, ErrNoEligibleHost
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].key != cands[j].key {
-			return cands[i].key < cands[j].key
+	// Insertion sort by (key, host): candidate lists are a site's host
+	// count — small — and the closure-free sort keeps the walk allocation-
+	// free. The (key, host) pair is a strict total order (host names are
+	// unique), so the result matches any comparison sort.
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i - 1
+		for j >= 0 && (cands[j].key > c.key || (cands[j].key == c.key && cands[j].host > c.host)) {
+			cands[j+1] = cands[j]
+			j--
 		}
-		return cands[i].host < cands[j].host
-	})
+		cands[j+1] = c
+	}
 	n := task.Processors
 	if task.Mode != afg.Parallel {
 		n = 1
@@ -269,7 +284,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	// Parallel-mode prediction: the slowest selected machine bounds each
 	// share; an ideal row split divides the work n ways.
 	pred := maxPred / float64(n)
-	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, nil
+	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, cands, nil
 }
 
 // eligible applies the Fig 5 resource filters: the host is up, matches the
@@ -314,6 +329,92 @@ func (s *LocalSelector) HostCosts(g *afg.Graph) (map[afg.TaskID][]Choice, error)
 		}
 		sort.Slice(choices, func(i, j int) bool { return choices[i].Host < choices[j].Host })
 		out[id] = choices
+	}
+	return out, nil
+}
+
+// denseHostCosts implements denseCoster: the batched form of HostCosts.
+// One pass over (task × resource) fills a contiguous prediction slab —
+// columns are the site's hosts ascending by name (the repository's List
+// order), NaN marks ineligible pairs — with no per-task map or slice
+// allocation. A task no host can run fails the whole site, exactly like
+// HostCosts.
+func (s *LocalSelector) denseHostCosts(ix *afg.Index) ([]string, []float64, error) {
+	var gens map[string]uint64
+	if s.Cache != nil {
+		gens = s.Cache.Generations()
+	}
+	resources := s.Repo.Resources.List() // sorted by host name
+	hosts := make([]string, len(resources))
+	for k, r := range resources {
+		hosts[k] = r.Static.HostName
+	}
+	v := ix.Len()
+	pred := make([]float64, v*len(resources))
+	for t := 0; t < v; t++ {
+		task := ix.Task(t)
+		row := pred[t*len(resources) : (t+1)*len(resources)]
+		eligible := 0
+		for k, r := range resources {
+			if !s.eligible(task, r) {
+				row[k] = math.NaN()
+				continue
+			}
+			row[k] = s.predictOn(task, r, 0, gens)
+			eligible++
+		}
+		if eligible == 0 {
+			return nil, nil, fmt.Errorf("task %q at site %s: %w", ix.ID(t), s.Site, ErrNoEligibleHost)
+		}
+	}
+	return hosts, pred, nil
+}
+
+// selectHostsDense is the slice-indexed form of SelectHosts: the same
+// Fig 5 walk, but the priority order comes from dense levels sorted by
+// integer index and the result is addressed by dense task index — no
+// level map, no id sort, no output map. A selector carrying its own
+// Priority rule falls back to the generic walk.
+func (s *LocalSelector) selectHostsDense(g *afg.Graph) ([]Choice, error) {
+	ix, err := g.Index()
+	if err != nil {
+		return nil, err
+	}
+	if s.Priority != nil {
+		m, err := s.SelectHosts(g)
+		if err != nil {
+			return nil, err
+		}
+		return denseChoices(ix, m), nil
+	}
+	var gens map[string]uint64
+	if s.Cache != nil {
+		gens = s.Cache.Generations()
+	}
+	resources := s.Repo.Resources.List()
+	queued := make(map[string]float64)
+	freeAt := make(map[string]float64)
+	if s.AvailabilityAware && s.Ledger != nil {
+		freeAt = s.Ledger.Snapshot()
+	}
+	out := make([]Choice, ix.Len())
+	var buf []scored
+	for _, t := range rankOrderDesc(ix.Levels()) {
+		task := ix.Task(int(t))
+		var choice Choice
+		var finish float64
+		choice, finish, buf, err = s.selectFor(task, resources, queued, freeAt, gens, buf)
+		if err != nil {
+			return nil, fmt.Errorf("task %q at site %s: %w", ix.ID(int(t)), s.Site, err)
+		}
+		for _, h := range choice.Hosts {
+			if s.AvailabilityAware {
+				freeAt[h] = finish
+			} else {
+				queued[h]++
+			}
+		}
+		out[t] = choice
 	}
 	return out, nil
 }

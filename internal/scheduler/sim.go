@@ -1,11 +1,11 @@
 package scheduler
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
 	"repro/internal/afg"
+	"repro/internal/minheap"
 	"repro/internal/netsim"
 )
 
@@ -38,76 +38,108 @@ type TimeModel func(task *afg.Task, host string) float64
 // event queue. Total work is O((V+E)·log V) plus one re-push per
 // (completion, co-hosted ready task) pair, versus the former full
 // ready-set rebuild each iteration, O(V²·log V).
+//
+// All per-task state is slice-indexed through the graph's dense Index —
+// task and host identities resolve to integers once, up front, and the
+// event loop itself runs map-free.
 func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (float64, error) {
-	if err := g.Validate(); err != nil {
-		return 0, err
+	if g.Len() == 0 {
+		return 0, afg.ErrEmpty
 	}
-	order, err := g.TopoOrder()
+	ix, err := g.Index()
 	if err != nil {
 		return 0, err
 	}
-	n := len(order)
-	idx := make(map[afg.TaskID]int, n)
-	for i, id := range order {
-		idx[id] = i
-	}
+	n := ix.Len()
 	assigns := make([]Assignment, n)
-	hostsOf := make([][]string, n)
-	for i, id := range order {
-		a, ok := table.Get(id)
+	total := 0
+	for i := 0; i < n; i++ {
+		a, ok := table.Get(ix.ID(i))
 		if !ok {
-			return 0, fmt.Errorf("scheduler: task %q missing from allocation table", id)
+			return 0, fmt.Errorf("scheduler: task %q missing from allocation table", ix.ID(i))
 		}
 		assigns[i] = a
-		hostsOf[i] = effectiveHosts(a)
+		if len(a.Hosts) > 0 { // count without materialising effectiveHosts
+			total += len(a.Hosts)
+		} else {
+			total++
+		}
+	}
+	hostCols := make([][]int32, n)   // dense host columns per task
+	hostCol := map[string]int32{}    // host name -> dense column
+	colArena := make([]int32, total) // one backing array for every entry
+	colFor := func(h string) int32 {
+		c, ok := hostCol[h]
+		if !ok {
+			c = int32(len(hostCol))
+			hostCol[h] = c
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		a := assigns[i]
+		if len(a.Hosts) == 0 { // single-host: no effectiveHosts slice
+			cols := colArena[:1:1]
+			colArena = colArena[1:]
+			cols[0] = colFor(a.Host)
+			hostCols[i] = cols
+			continue
+		}
+		cols := colArena[:len(a.Hosts):len(a.Hosts)]
+		colArena = colArena[len(a.Hosts):]
+		for k, h := range a.Hosts {
+			cols[k] = colFor(h)
+		}
+		hostCols[i] = cols
 	}
 
-	hostFree := map[string]float64{} // host -> time it becomes free
-	pendingParents := make([]int, n) // unfinished-parent counts
-	dataReady := make([]float64, n)  // max over finished parents of arrival time
+	hostFree := make([]float64, len(hostCol)) // column -> time host is free
+	pendingParents := make([]int32, n)        // unfinished-parent counts
+	dataReady := make([]float64, n)           // max over finished parents of arrival time
 
 	// startOf is the earliest time task i can begin given the current host
 	// timeline. Valid only once all parents have finished (dataReady final).
-	startOf := func(i int) float64 {
+	startOf := func(i int32) float64 {
 		st := dataReady[i]
-		for _, h := range hostsOf[i] {
-			st = math.Max(st, hostFree[h])
+		for _, c := range hostCols[i] {
+			st = math.Max(st, hostFree[c])
 		}
 		return st
 	}
 
 	var q pq
-	for i, id := range order {
-		pendingParents[i] = len(g.Parents(id))
+	for i := 0; i < n; i++ {
+		pendingParents[i] = int32(ix.NumParents(i))
 		if pendingParents[i] == 0 {
-			heap.Push(&q, pqItem{id: id, i: i, start: 0})
+			q = append(q, pqItem{i: int32(i)})
 		}
 	}
+	q.Init()
 
 	var makespan float64
 	completed := 0
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
+	for len(q) > 0 {
+		it := q.Pop()
 		if cur := startOf(it.i); cur > it.start {
 			// A completion since this entry was pushed moved one of the
 			// task's hosts further out; re-queue at the current start.
 			it.start = cur
-			heap.Push(&q, it)
+			q.Push(it)
 			continue
 		}
 		a := assigns[it.i]
-		dur := model(g.Task(it.id), a.Host)
+		dur := model(ix.Task(int(it.i)), a.Host)
 		if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
-			return 0, fmt.Errorf("scheduler: invalid duration %v for task %q", dur, it.id)
+			return 0, fmt.Errorf("scheduler: invalid duration %v for task %q", dur, ix.ID(int(it.i)))
 		}
 		// Parallel tasks run across all hosts for duration/#hosts.
-		hosts := hostsOf[it.i]
-		if len(hosts) > 1 {
-			dur /= float64(len(hosts))
+		cols := hostCols[it.i]
+		if len(cols) > 1 {
+			dur /= float64(len(cols))
 		}
 		end := it.start + dur
-		for _, h := range hosts {
-			hostFree[h] = end
+		for _, c := range cols {
+			hostFree[c] = end
 		}
 		completed++
 		makespan = math.Max(makespan, end)
@@ -115,16 +147,16 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		// Completion unblocks children: fold this task's finish (plus any
 		// transfer) into each child's data-ready time; a child losing its
 		// last pending parent enters the candidate heap.
-		for _, l := range g.Children(it.id) {
-			ci := idx[l.To]
+		for _, arc := range ix.Children(int(it.i)) {
+			ci := arc.Peer
 			arrive := end
-			if net != nil && !sharesHost(hostsOf[it.i], hostsOf[ci]) {
-				arrive += net.TransferTime(a.Site, assigns[ci].Site, transferBytes(g, l)).Seconds()
+			if net != nil && !sharesCol(cols, hostCols[ci]) {
+				arrive += net.TransferTime(a.Site, assigns[ci].Site, arc.Bytes).Seconds()
 			}
 			dataReady[ci] = math.Max(dataReady[ci], arrive)
 			pendingParents[ci]--
 			if pendingParents[ci] == 0 {
-				heap.Push(&q, pqItem{id: l.To, i: ci, start: startOf(ci)})
+				q.Push(pqItem{i: ci, start: startOf(ci)})
 			}
 		}
 	}
@@ -132,6 +164,20 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		return 0, fmt.Errorf("scheduler: simulation deadlock with %d tasks pending", n-completed)
 	}
 	return makespan, nil
+}
+
+// sharesCol reports whether two dense host-column sets intersect (the
+// integer twin of sharesHost; host sets are tiny, so the quadratic scan
+// beats building a set).
+func sharesCol(a, b []int32) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // CommVolume sums the modelled inter-host communication time of a table —
@@ -174,28 +220,20 @@ func sharesHost(a, b []string) bool {
 	return false
 }
 
-// pq is a min-heap of candidate task starts.
+// pq is the simulator's event queue: a min-heap of candidate task starts.
+// Ties break on the dense task index, which equals ascending TaskID order
+// by the Index invariant.
 type pqItem struct {
-	id    afg.TaskID
-	i     int // topological index into the simulator's task arrays
+	i     int32 // dense task index
 	start float64
 }
 
-type pq []pqItem
-
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].start != q[j].start {
-		return q[i].start < q[j].start
+// LessThan implements minheap.Ordered.
+func (a pqItem) LessThan(b pqItem) bool {
+	if a.start != b.start {
+		return a.start < b.start
 	}
-	return q[i].id < q[j].id
+	return a.i < b.i
 }
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+
+type pq = minheap.Heap[pqItem]

@@ -61,7 +61,7 @@ func referenceSimulate(g *afg.Graph, table *AllocationTable, model TimeModel, ne
 	}
 	var makespan float64
 	for len(pending) > 0 {
-		var q pq
+		var q refPq
 		heap.Init(&q)
 		for _, id := range order {
 			if pending[id] && ready(id) {
@@ -69,13 +69,13 @@ func referenceSimulate(g *afg.Graph, table *AllocationTable, model TimeModel, ne
 				if err != nil {
 					return 0, err
 				}
-				heap.Push(&q, pqItem{id: id, start: st})
+				heap.Push(&q, refItem{id: id, start: st})
 			}
 		}
 		if q.Len() == 0 {
 			return 0, fmt.Errorf("scheduler: simulation deadlock with %d tasks pending", len(pending))
 		}
-		it := heap.Pop(&q).(pqItem)
+		it := heap.Pop(&q).(refItem)
 		a, _ := table.Get(it.id)
 		dur := model(g.Task(it.id), a.Host)
 		hosts := effectiveHosts(a)
@@ -91,6 +91,32 @@ func referenceSimulate(g *afg.Graph, table *AllocationTable, model TimeModel, ne
 		makespan = math.Max(makespan, end)
 	}
 	return makespan, nil
+}
+
+// refPq is the reference simulator's id-keyed candidate heap (the live
+// simulator's pq is dense-indexed; the oracle stays map/string-keyed).
+type refItem struct {
+	id    afg.TaskID
+	start float64
+}
+
+type refPq []refItem
+
+func (q refPq) Len() int { return len(q) }
+func (q refPq) Less(i, j int) bool {
+	if q[i].start != q[j].start {
+		return q[i].start < q[j].start
+	}
+	return q[i].id < q[j].id
+}
+func (q refPq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refPq) Push(x any)   { *q = append(*q, x.(refItem)) }
+func (q *refPq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
 }
 
 // randomTable assigns every task of g to a random host in a small

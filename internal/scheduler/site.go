@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -69,6 +70,11 @@ type SiteScheduler struct {
 	// the ready-set walk — so the allocation table does not depend on
 	// goroutine scheduling.
 	Concurrency int
+
+	// Diag, when non-nil, receives per-site gather diagnostics (dropped
+	// sites classified as capacity refusals vs transient failures).
+	// Installed from Request.Diag by the registered site policies.
+	Diag *Diagnostics
 }
 
 // NewSiteScheduler builds a transfer-aware scheduler with fan-out k.
@@ -140,6 +146,7 @@ func (p sitePolicy) Schedule(ctx context.Context, req *Request) (*AllocationTabl
 		Ledger:            cfg.Ledger,
 		Priority:          cfg.Priority,
 		Concurrency:       cfg.Concurrency,
+		Diag:              req.Diag,
 	}
 	if p.ledger && s.Ledger == nil {
 		s.Ledger = NewLoadLedger()
@@ -149,11 +156,19 @@ func (p sitePolicy) Schedule(ctx context.Context, req *Request) (*AllocationTabl
 
 // run is the Site Scheduler engine (the former Schedule body); both the
 // deprecated method and the registered site policies funnel through it.
+// The walk is slice-indexed end to end: site results address tasks by
+// dense index, the ready set is a priority heap over dense levels, and
+// the transfer term reads CSR parent arcs. The original map-keyed walk is
+// retained in oracle_test.go; equivalence tests pin the tables.
 func (s *SiteScheduler) run(g *afg.Graph) (*AllocationTable, error) {
 	if s.Local == nil {
 		return nil, ErrNoSites
 	}
-	if err := g.Validate(); err != nil {
+	if g.Len() == 0 {
+		return nil, afg.ErrEmpty
+	}
+	ix, err := g.Index()
+	if err != nil {
 		return nil, err
 	}
 
@@ -164,92 +179,91 @@ func (s *SiteScheduler) run(g *afg.Graph) (*AllocationTable, error) {
 	// Steps 4–5: gather host selections per site, fanning out across the
 	// worker pool. A site that cannot host some task (constraints) is
 	// skipped for that task rather than failing the whole application:
-	// a failed site is dropped entirely; the local site failing is fatal
-	// only if no site can host a task (checked later).
-	results := s.collectSelections(g, selectors)
+	// a failed site is dropped entirely (recorded on Diag when set); the
+	// local site failing is fatal only if no site can host a task.
+	results, transient := s.collectSelections(ix, g, selectors)
 	if len(results) == 0 {
-		return nil, ErrNoSites
-	}
-
-	levels, err := g.Levels()
-	if err != nil {
-		return nil, err
+		return nil, noSitesErr(transient)
 	}
 
 	if s.AvailabilityAware {
-		return s.scheduleAvailabilityAware(g, results, levels)
+		return s.scheduleAvailabilityAware(ix, g, results)
 	}
 
 	table := NewAllocationTable(g.Name)
 
 	// Steps 6–7: ready-set walk in level-priority order.
-	prio := s.Priority
-	if prio == nil {
-		prio = ByLevel
+	walk, err := newReadyWalk(ix, g, s.Priority)
+	if err != nil {
+		return nil, err
 	}
-	tracker := afg.NewTracker(g)
-	for !tracker.AllDone() {
-		ready := prio(tracker.Ready(), levels)
-		if len(ready) == 0 {
-			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+	n := ix.Len()
+	site := make([]string, n) // assigned site per task; "" = unplaced
+	for done := 0; done < n; done++ {
+		t, err := walk.next(done)
+		if err != nil {
+			return nil, err
 		}
-		id := ready[0]
 
 		best := Choice{Predicted: math.Inf(1)}
 		bestTotal := math.Inf(1)
 		found := false
-		for _, sr := range results {
-			choice, ok := sr.choices[id]
-			if !ok {
+		entryLike := isEntryLikeDense(ix, t)
+		for si := range results {
+			sr := &results[si]
+			choice := sr.choices[t]
+			if choice.Host == "" {
 				continue
 			}
 			total := choice.Predicted
-			if s.TransferAware && !isEntryLike(g, id) {
-				total += s.transferCost(g, id, sr.name, table)
+			if s.TransferAware && !entryLike {
+				total += s.transferCostDense(ix, t, sr.name, site)
 			}
 			if total < bestTotal || (total == bestTotal && sr.name < best.Site) {
 				best, bestTotal, found = choice, total, true
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, ix.ID(t))
 		}
 		table.Set(Assignment{
-			Task:      id,
+			Task:      ix.ID(t),
 			Site:      best.Site,
 			Host:      best.Host,
 			Hosts:     best.Hosts,
 			Predicted: best.Predicted,
 		})
-		tracker.Complete(id)
+		site[t] = best.Site
+		walk.complete(t)
 	}
 	return table, nil
 }
 
 // scheduleAvailabilityAware is the earliest-finish-time variant of steps
 // 6–7: the ready-set walk keeps an estimated free-time timeline for every
-// host it has placed work on (seeded, per evaluation, with the shared
-// ledger's cross-application reservations) and an estimated finish time
-// per scheduled task, and sends each task to the site/host set whose
-// estimated finish — parents' data arrival plus queueing wait plus
-// predicted execution — is smallest.
-func (s *SiteScheduler) scheduleAvailabilityAware(g *afg.Graph, results []siteResult, levels map[afg.TaskID]float64) (*AllocationTable, error) {
+// host it has placed work on (seeded, per task, from one bulk snapshot of
+// the shared ledger's cross-application reservations) and an estimated
+// finish time per scheduled task, and sends each task to the site/host
+// set whose estimated finish — parents' data arrival plus queueing wait
+// plus predicted execution — is smallest.
+func (s *SiteScheduler) scheduleAvailabilityAware(ix *afg.Index, g *afg.Graph, results []siteResult) (*AllocationTable, error) {
 	table := NewAllocationTable(g.Name)
-	prio := s.Priority
-	if prio == nil {
-		prio = ByLevel
-	}
-	estFinish := make(map[afg.TaskID]float64, g.Len())
+	n := ix.Len()
+	estFinish := make([]float64, n)
+	site := make([]string, n)        // assigned site per task; "" = unplaced
+	phosts := make([][]string, n)    // assigned host set per task
 	hostFree := map[string]float64{} // this walk's own host timeline
 	own := map[string]float64{}      // busy seconds this walk reserved in the ledger
-	// freeAt folds the ledger's view of OTHER applications' in-flight work
-	// into this walk's own timeline. Queried live, per evaluation, so a
+	// view folds the ledger's view of OTHER applications' in-flight work
+	// into this walk's own timeline. Refreshed once per task — one bulk
+	// snapshot revalidation instead of a ledger lock per candidate — so a
 	// placement made by a concurrent Schedule goroutine moves this walk
-	// off the host it just claimed.
+	// off the host it just claimed from the next task onward.
+	view := s.Ledger.View()
 	freeAt := func(h string) float64 {
 		f := hostFree[h]
-		if s.Ledger != nil {
-			if other := s.Ledger.Busy(h) - own[h]; other > f {
+		if view != nil {
+			if other := view.Busy(h) - own[h]; other > f {
 				f = other
 			}
 		}
@@ -264,35 +278,37 @@ func (s *SiteScheduler) scheduleAvailabilityAware(g *afg.Graph, results []siteRe
 		}
 	}
 
-	tracker := afg.NewTracker(g)
-	for !tracker.AllDone() {
-		ready := prio(tracker.Ready(), levels)
-		if len(ready) == 0 {
+	walk, err := newReadyWalk(ix, g, s.Priority)
+	if err != nil {
+		return nil, err
+	}
+	for done := 0; done < n; done++ {
+		t, err := walk.next(done)
+		if err != nil {
 			releaseOwn()
-			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", tracker.Remaining())
+			return nil, err
 		}
-		id := ready[0]
+		view.Refresh()
 
 		var best Choice
 		var bestHosts []string
 		bestFinish := math.Inf(1)
 		found := false
-		for _, sr := range results {
-			choice, ok := sr.choices[id]
-			if !ok {
+		for si := range results {
+			sr := &results[si]
+			choice := sr.choices[t]
+			if choice.Host == "" {
 				continue
 			}
 			hosts := effectiveHosts(Assignment{Host: choice.Host, Hosts: choice.Hosts})
 			// Data arrival: every scheduled parent's estimated finish,
 			// plus the site-to-site transfer unless a host is shared.
 			start := 0.0
-			for _, l := range g.Parents(id) {
-				arrive := estFinish[l.From]
-				if s.Net != nil {
-					if p, ok := table.Get(l.From); ok {
-						if bytes := transferBytes(g, l); bytes > 0 && !sharesHost(effectiveHosts(p), hosts) {
-							arrive += s.Net.TransferTime(p.Site, sr.name, bytes).Seconds()
-						}
+			for _, a := range ix.Parents(t) {
+				arrive := estFinish[a.Peer]
+				if s.Net != nil && site[a.Peer] != "" {
+					if a.Bytes > 0 && !sharesHost(phosts[a.Peer], hosts) {
+						arrive += s.Net.TransferTime(site[a.Peer], sr.name, a.Bytes).Seconds()
 					}
 				}
 				start = math.Max(start, arrive)
@@ -307,26 +323,127 @@ func (s *SiteScheduler) scheduleAvailabilityAware(g *afg.Graph, results []siteRe
 		}
 		if !found {
 			releaseOwn()
-			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, id)
+			return nil, fmt.Errorf("%w: %q", ErrNoEligibleHost, ix.ID(t))
 		}
 		table.Set(Assignment{
-			Task:      id,
+			Task:      ix.ID(t),
 			Site:      best.Site,
 			Host:      best.Host,
 			Hosts:     best.Hosts,
 			Predicted: best.Predicted,
 		})
-		estFinish[id] = bestFinish
+		estFinish[t] = bestFinish
+		site[t] = best.Site
+		phosts[t] = bestHosts
 		for _, h := range bestHosts {
 			hostFree[h] = bestFinish
-			if s.Ledger != nil {
-				s.Ledger.Reserve(h, best.Predicted)
+			if view != nil {
+				view.Reserve(h, best.Predicted)
 				own[h] += best.Predicted
 			}
 		}
-		tracker.Complete(id)
+		walk.complete(t)
 	}
 	return table, nil
+}
+
+// readyWalk yields dense task indices in ready-set priority order. With
+// the default level rule the ready set is a priority heap over dense
+// levels — O(V log V) for the whole walk instead of a full re-sort per
+// step. A custom PriorityFunc keeps the original Tracker-and-re-sort walk
+// (the rule sees the whole ready set, so there is nothing to incrementalise).
+type readyWalk struct {
+	ix *afg.Index
+
+	// Dense path (nil PriorityFunc):
+	heap    prioHeap
+	dlevels []float64
+	pending []int32
+
+	// Generic path:
+	tracker *afg.Tracker
+	prio    PriorityFunc
+	levels  map[afg.TaskID]float64
+}
+
+func newReadyWalk(ix *afg.Index, g *afg.Graph, prio PriorityFunc) (*readyWalk, error) {
+	w := &readyWalk{ix: ix}
+	if prio == nil {
+		n := ix.Len()
+		w.dlevels = ix.Levels()
+		w.pending = make([]int32, n)
+		for i := 0; i < n; i++ {
+			w.pending[i] = int32(ix.NumParents(i))
+			if w.pending[i] == 0 {
+				w.heap = append(w.heap, prioItem{w.dlevels[i], int32(i)})
+			}
+		}
+		w.heap.Init()
+		return w, nil
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	w.tracker, w.prio, w.levels = afg.NewTracker(g), prio, levels
+	return w, nil
+}
+
+// next returns the highest-priority ready task; done is the count of
+// completed tasks (for the empty-ready-set diagnostic).
+func (w *readyWalk) next(done int) (int, error) {
+	if w.tracker == nil {
+		if len(w.heap) == 0 {
+			return 0, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", w.ix.Len()-done)
+		}
+		return int(w.heap.Pop().idx), nil
+	}
+	ready := w.prio(w.tracker.Ready(), w.levels)
+	if len(ready) == 0 {
+		return 0, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", w.tracker.Remaining())
+	}
+	return w.ix.Of(ready[0]), nil
+}
+
+// complete marks t scheduled, admitting children whose parents are done.
+func (w *readyWalk) complete(t int) {
+	if w.tracker == nil {
+		for _, a := range w.ix.Children(t) {
+			w.pending[a.Peer]--
+			if w.pending[a.Peer] == 0 {
+				w.heap.Push(prioItem{w.dlevels[a.Peer], a.Peer})
+			}
+		}
+		return
+	}
+	w.tracker.Complete(w.ix.ID(t))
+}
+
+// isEntryLikeDense is isEntryLike over CSR arcs: the task has no parents
+// or none of its input links moves data.
+func isEntryLikeDense(ix *afg.Index, t int) bool {
+	for _, a := range ix.Parents(t) {
+		if a.Bytes > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// transferCostDense sums transfer_time(Sparent, Sj) over the task's
+// already scheduled parents, reading CSR arcs and the dense site table.
+func (s *SiteScheduler) transferCostDense(ix *afg.Index, t int, siteName string, site []string) float64 {
+	if s.Net == nil {
+		return 0
+	}
+	var total float64
+	for _, a := range ix.Parents(t) {
+		if site[a.Peer] == "" {
+			continue // parent unscheduled (possible only for cross runs)
+		}
+		total += s.Net.TransferTime(site[a.Peer], siteName, a.Bytes).Seconds()
+	}
+	return total
 }
 
 // WithLedger returns a copy of the scheduler wired to the shared
@@ -343,15 +460,21 @@ func (s *SiteScheduler) WithLedger(l *LoadLedger) *SiteScheduler {
 	return &c
 }
 
-// siteResult is one site's contribution to steps 4–5.
+// siteResult is one site's contribution to steps 4–5: the site's offer per
+// task, addressed by dense task index (an empty Host marks "no offer").
 type siteResult struct {
 	name    string
-	choices map[afg.TaskID]Choice
+	choices []Choice
+	err     error
 }
 
 // collectSelections runs the Host Selection Algorithm on every selector —
 // serially when Concurrency is 1, otherwise through a bounded worker pool —
 // and merges the successful results deterministically by site name.
+// In-process selectors run the dense slice-indexed walk; RPC remotes
+// answer with maps that are flattened onto the dense index once. Failed
+// sites are dropped and recorded on Diag, classified as capacity refusals
+// vs transient losses.
 //
 // Availability-aware scheduling is propagated into in-process selectors:
 // the EFT walk prices queueing itself, so the per-site walks must report
@@ -359,7 +482,7 @@ type siteResult struct {
 // wait). Remote sites decide their own mode — the RPC selector cannot see
 // this scheduler's flag — which only perturbs which host a remote site
 // offers, not the EFT accounting.
-func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector) []siteResult {
+func (s *SiteScheduler) collectSelections(ix *afg.Index, g *afg.Graph, selectors []HostSelector) ([]siteResult, []SiteError) {
 	if s.AvailabilityAware {
 		propagated := make([]HostSelector, len(selectors))
 		for i, sel := range selectors {
@@ -377,11 +500,23 @@ func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector
 		selectors = propagated
 	}
 	gathered := make([]siteResult, len(selectors))
+	gather := func(i int, sel HostSelector) {
+		name := sel.SiteName()
+		if ls, ok := sel.(*LocalSelector); ok {
+			cs, err := ls.selectHostsDense(g)
+			gathered[i] = siteResult{name: name, choices: cs, err: err}
+			return
+		}
+		m, err := sel.SelectHosts(g)
+		if err != nil {
+			gathered[i] = siteResult{name: name, err: err}
+			return
+		}
+		gathered[i] = siteResult{name: name, choices: denseChoices(ix, m)}
+	}
 	if s.Concurrency == 1 || len(selectors) == 1 {
 		for i, sel := range selectors {
-			if choices, err := sel.SelectHosts(g); err == nil {
-				gathered[i] = siteResult{sel.SiteName(), choices}
-			}
+			gather(i, sel)
 		}
 	} else {
 		workers := s.Concurrency
@@ -399,21 +534,27 @@ func (s *SiteScheduler) collectSelections(g *afg.Graph, selectors []HostSelector
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				if choices, err := sel.SelectHosts(g); err == nil {
-					gathered[i] = siteResult{sel.SiteName(), choices}
-				}
+				gather(i, sel)
 			}(i, sel)
 		}
 		wg.Wait()
 	}
 	results := gathered[:0]
+	var transient []SiteError
 	for _, r := range gathered {
+		if r.err != nil {
+			s.Diag.record(r.name, r.err)
+			if !errors.Is(r.err, ErrNoEligibleHost) {
+				transient = append(transient, SiteError{Site: r.name, Err: r.err})
+			}
+			continue
+		}
 		if r.choices != nil {
 			results = append(results, r)
 		}
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
-	return results
+	return results, transient
 }
 
 // nearestRemotes returns the k nearest remote selectors by network latency
