@@ -1,23 +1,30 @@
 // Command vdce-bench regenerates the paper's evaluation: one experiment per
 // figure (plus the two quantitative claims made in prose), printed as
-// aligned tables or CSV.
+// aligned tables, CSV, or JSON.
 //
 // Usage:
 //
 //	vdce-bench                       # run everything
 //	vdce-bench -exp FIG4,FIG5        # run selected experiments
 //	vdce-bench -csv                  # CSV output
+//	vdce-bench -json                 # machine-readable JSON (CI artifacts)
 //	vdce-bench -seed 7               # change the deterministic seed
 //	vdce-bench -cpuprofile cpu.prof  # profile the run (go tool pprof)
 //	vdce-bench -memprofile mem.prof  # heap profile at exit
+//
+// The RANKING experiment's grid is adjustable from the command line:
+//
+//	vdce-bench -exp RANKING -ranking-sizes 10,20,30 -ranking-ccrs 0.5,1,2 -ranking-graphs 1
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
@@ -36,10 +43,11 @@ var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
 	"SCALE":     experiments.ScaleScheduling,
 	"LEDGER":    experiments.AvailabilityScheduling,
 	"POLICY":    experiments.PolicyComparison,
+	"RANKING":   experiments.Ranking,
 }
 
 var experimentOrder = []string{
-	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER", "POLICY",
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER", "POLICY", "RANKING",
 }
 
 func main() {
@@ -49,10 +57,14 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY, RANKING) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one JSON document for all selected experiments (rows + metrics)")
 	policies := flag.String("policies", "", "restrict the POLICY experiment to these comma-separated scheduling policies (empty = all registered)")
+	rankSizes := flag.String("ranking-sizes", "", "RANKING grid task counts, comma-separated (empty = default grid)")
+	rankCCRs := flag.String("ranking-ccrs", "", "RANKING grid CCR values, comma-separated (empty = default grid)")
+	rankGraphs := flag.Int("ranking-graphs", 0, "RANKING graphs per grid cell (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -96,6 +108,32 @@ func run() int {
 			return experiments.PolicyComparisonFor(seed, names)
 		}
 	}
+	if *rankSizes != "" || *rankCCRs != "" || *rankGraphs > 0 {
+		sizes, err := parseInts(*rankSizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-ranking-sizes: %v\n", err)
+			return 2
+		}
+		ccrs, err := parseFloats(*rankCCRs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-ranking-ccrs: %v\n", err)
+			return 2
+		}
+		graphs := *rankGraphs
+		experimentFuncs["RANKING"] = func(seed int64) (*experiments.Result, error) {
+			cfg := experiments.DefaultRankingConfig(seed)
+			if len(sizes) > 0 {
+				cfg.Sizes = sizes
+			}
+			if len(ccrs) > 0 {
+				cfg.CCRs = ccrs
+			}
+			if graphs > 0 {
+				cfg.GraphsPerCell = graphs
+			}
+			return experiments.RankingWith(cfg)
+		}
+	}
 
 	ids := experimentOrder
 	if *exp != "all" {
@@ -112,11 +150,23 @@ func run() int {
 	}
 
 	failed := false
+	var jsonResults []resultJSON
 	for _, id := range ids {
 		r, err := experimentFuncs[id](*seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
+			continue
+		}
+		if *jsonOut {
+			jsonResults = append(jsonResults, resultJSON{
+				ID:      r.ID,
+				Title:   r.Series.Title,
+				XLabel:  r.Series.XLabel,
+				YLabels: r.Series.YLabels,
+				Rows:    r.Series.Rows,
+				Metrics: r.Metrics,
+			})
 			continue
 		}
 		fmt.Printf("== %s ==\n", r.ID)
@@ -127,8 +177,59 @@ func run() int {
 		}
 		fmt.Println()
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonResults); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 2
+		}
+	}
 	if failed {
 		return 1
 	}
 	return 0
+}
+
+// resultJSON is one experiment's machine-readable form: the series columns
+// plus the headline metrics, the shape the CI artifacts accumulate.
+type resultJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	XLabel  string             `json:"xlabel"`
+	YLabels []string           `json:"ylabels"`
+	Rows    [][]float64        `json:"rows"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseInts parses a comma-separated integer list ("" = nil).
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated float list ("" = nil).
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

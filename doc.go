@@ -22,6 +22,27 @@
 // allocations) does the scoring at scale. The paper-faithful algorithm
 // remains the default policy and the evaluation baseline.
 //
+// # Evaluation methodology
+//
+// The evaluation reproduces the authors' methodology, not just their
+// architecture. internal/dagen generates seeded parametric DAGs from the
+// classic knobs — task count, CCR (communication-to-computation ratio),
+// shape α, out-degree, and host-heterogeneity range β — plus structured
+// Gaussian-elimination and FFT task graphs; internal/metrics scores
+// schedules by Schedule Length Ratio (makespan over the critical-path
+// lower bound), speedup against the best serial host, efficiency, and
+// pairwise better/equal/worse counts; and scheduler.ValidateSchedule is an
+// independent, deliberately naive replay of the execution semantics that
+// audits every allocation table for precedence feasibility, per-host
+// mutual exclusion, and transfer-time accounting — its makespan must match
+// the simulator's bit for bit. The RANKING experiment sweeps the grid
+// (sizes × CCRs) across every registered policy (vdce-bench -exp RANKING,
+// with -ranking-sizes/-ranking-ccrs/-ranking-graphs and -json for
+// machine-readable output); a fixed-seed golden run is committed under
+// internal/experiments/testdata and enforced by a regression test with an
+// -update re-blessing flag. Fuzz targets (FuzzDagenValid, FuzzGraphIndex)
+// pin the generator and dense-index invariants.
+//
 // # Performance
 //
 // The scheduling core is dense: afg.Graph caches an integer-indexed view

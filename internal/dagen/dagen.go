@@ -1,0 +1,273 @@
+// Package dagen generates the parameterized task graphs the evaluation
+// methodology of Topcuoglu et al. scores schedulers on: random DAGs shaped
+// by the paper's five knobs — task count v, communication-to-computation
+// ratio CCR, shape parameter α, out-degree, and host-heterogeneity range β —
+// plus the structured application graphs (Gaussian elimination, FFT) used
+// alongside them. Every generator is seeded and deterministic: the same
+// Params always produce the same afg.Graph, which is what lets the RANKING
+// experiment commit golden results and lets property tests replay failures.
+//
+// Knob semantics (the classic random-graph suite):
+//
+//   - Tasks (v): exact node count, including the single entry and single
+//     exit task the generator adds so every graph is connected.
+//   - CCR: the ratio of the mean communication cost to the mean computation
+//     cost. Edge weights are drawn in seconds (uniform on [0, 2·CCR·w̄]) and
+//     converted to bytes through CommBandwidth, so a network whose WAN paths
+//     run at that bandwidth realises roughly the requested ratio.
+//   - Alpha (α): shape. The number of interior levels is √v/α, so α < 1
+//     yields long, skinny graphs (high depth, low parallelism) and α > 1
+//     yields short, fat ones.
+//   - OutDegree: cap on the random fan-out wired from each task into the
+//     next level (connectivity fix-ups may add one extra parent per task).
+//   - Beta (β): host heterogeneity, consumed by SpeedFactors — per-host time
+//     multipliers are uniform on [1−β/2, 1+β/2], so β = 0 is a homogeneous
+//     pool and larger β widens the spread between fastest and slowest host.
+package dagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/afg"
+)
+
+// Params parameterises Random. Zero fields take the documented defaults.
+type Params struct {
+	Tasks     int     // total task count v, entry and exit included (min 1)
+	CCR       float64 // mean communication / mean computation (0 = no data)
+	Alpha     float64 // shape: interior levels ≈ √v/α (default 1)
+	OutDegree int     // max random fan-out per task into the next level (default 3)
+	Beta      float64 // host-heterogeneity range, read by SpeedFactors
+
+	// MeanCost is w̄, the average computation cost in seconds on the base
+	// processor; task costs are uniform on (0, 2·w̄]. Default 1.
+	MeanCost float64
+
+	// CommBandwidth converts edge costs from seconds to bytes
+	// (bytes = seconds × bandwidth); it should match the WAN bandwidth of
+	// the network the graph is scheduled against. Default 1e7 — the star-WAN
+	// bandwidth the RANKING and POLICY experiments use.
+	CommBandwidth float64
+
+	Seed int64
+}
+
+// withDefaults fills the documented defaults in place of zero fields.
+func (p Params) withDefaults() Params {
+	if p.Tasks < 1 {
+		p.Tasks = 1
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 1
+	}
+	if p.OutDegree < 1 {
+		p.OutDegree = 3
+	}
+	if p.MeanCost <= 0 {
+		p.MeanCost = 1
+	}
+	if p.CommBandwidth <= 0 {
+		p.CommBandwidth = 1e7
+	}
+	if p.CCR < 0 {
+		p.CCR = 0
+	}
+	return p
+}
+
+// Random builds a seeded random DAG with exactly p.Tasks tasks: one entry,
+// one exit, and interior tasks spread over √v/α levels. Every interior task
+// has at least one parent in the previous level and at least one child
+// (childless interiors are wired to the exit), so the graph is always
+// connected, single-entry, single-exit, and acyclic by construction.
+func Random(p Params) *afg.Graph {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := afg.New(fmt.Sprintf("dagen-v%d-ccr%g-a%g", p.Tasks, p.CCR, p.Alpha))
+
+	v := p.Tasks
+	ids := make([]afg.TaskID, v)
+	for i := range ids {
+		ids[i] = afg.TaskID(fmt.Sprintf("t%05d", i))
+		g.AddTask(&afg.Task{
+			ID:          ids[i],
+			Function:    "synthetic.noop",
+			ComputeCost: taskCost(rng, p.MeanCost),
+		})
+	}
+	if v == 1 {
+		return g
+	}
+	entry, exit := ids[0], ids[v-1]
+	interior := ids[1 : v-1]
+	if len(interior) == 0 { // v == 2: entry -> exit
+		g.AddLink(afg.Link{From: entry, To: exit, Bytes: commBytes(rng, p)})
+		return g
+	}
+
+	// Level layout: √(interior)/α levels, each owning ≥ 1 task; the rest of
+	// the interior tasks land on uniformly random levels.
+	levels := int(math.Round(math.Sqrt(float64(len(interior))) / p.Alpha))
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > len(interior) {
+		levels = len(interior)
+	}
+	byLevel := make([][]afg.TaskID, levels)
+	for i, id := range interior {
+		l := i % levels // every level seeded with one task first
+		if i >= levels {
+			l = rng.Intn(levels)
+		}
+		byLevel[l] = append(byLevel[l], id)
+	}
+
+	// Random fan-out: each task wires up to OutDegree distinct children in
+	// the next level. Then the connectivity fix-ups below guarantee every
+	// interior task has a parent and a child.
+	for l := 0; l < levels-1; l++ {
+		next := byLevel[l+1]
+		for _, from := range byLevel[l] {
+			deg := 1 + rng.Intn(p.OutDegree)
+			if deg > len(next) {
+				deg = len(next)
+			}
+			for _, k := range rng.Perm(len(next))[:deg] {
+				g.AddLink(afg.Link{From: from, To: next[k], Bytes: commBytes(rng, p)})
+			}
+		}
+	}
+	// Level 0 hangs off the entry task; deeper parentless tasks adopt a
+	// random parent from the previous level.
+	for _, id := range byLevel[0] {
+		g.AddLink(afg.Link{From: entry, To: id, Bytes: commBytes(rng, p)})
+	}
+	for l := 1; l < levels; l++ {
+		prev := byLevel[l-1]
+		for _, id := range byLevel[l] {
+			if len(g.Parents(id)) == 0 {
+				g.AddLink(afg.Link{From: prev[rng.Intn(len(prev))], To: id, Bytes: commBytes(rng, p)})
+			}
+		}
+	}
+	// Childless interior tasks feed the exit.
+	for _, id := range interior {
+		if len(g.Children(id)) == 0 {
+			g.AddLink(afg.Link{From: id, To: exit, Bytes: commBytes(rng, p)})
+		}
+	}
+	return g
+}
+
+// taskCost draws one computation cost: uniform on (0, 2·w̄], floored away
+// from zero so prediction never sees a free task.
+func taskCost(rng *rand.Rand, mean float64) float64 {
+	c := 2 * mean * rng.Float64()
+	if c < 1e-3 {
+		c = 1e-3
+	}
+	return c
+}
+
+// commBytes draws one edge volume: a communication cost uniform on
+// [0, 2·CCR·w̄] seconds, converted to bytes at the reference bandwidth.
+func commBytes(rng *rand.Rand, p Params) int64 {
+	if p.CCR <= 0 {
+		return 0
+	}
+	return int64(2 * p.CCR * p.MeanCost * rng.Float64() * p.CommBandwidth)
+}
+
+// SpeedFactors derives n host speed factors from the heterogeneity range β:
+// each host's execution-time multiplier is uniform on [1−β/2, 1+β/2]
+// (floored at 0.1), and the speed factor is its reciprocal — so β = 0 gives
+// a homogeneous pool and β = 2 spans roughly 20× between the fastest and
+// slowest host, mirroring the paper's processor-heterogeneity sweep.
+func SpeedFactors(n int, beta float64, seed int64) []float64 {
+	if beta < 0 {
+		beta = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		mult := 1 + beta*(rng.Float64()-0.5)
+		if mult < 0.1 {
+			mult = 0.1
+		}
+		out[i] = 1 / mult
+	}
+	return out
+}
+
+// Scale builds a layered DAG of exactly `tasks` tasks (width tasks per rank,
+// the last rank padded short) whose cost/memory/output parameters are drawn
+// from a catalogue of `kinds` distinct task profiles — the shape of a real
+// task library, where thousands of task instances share a handful of
+// function configurations. The SCALE/LEDGER/POLICY workloads are built from
+// it: repeated profiles are what a (kind, size, resource)-keyed prediction
+// cache can exploit. (Moved verbatim from package workload so every seeded
+// generator lives here; the RNG consumption is unchanged, so graphs are
+// bit-identical to the pre-move ones.)
+func Scale(tasks, width, kinds int, seed int64) *afg.Graph {
+	if tasks < 1 {
+		tasks = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	if kinds < 1 {
+		kinds = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type profile struct {
+		cost  float64
+		mem   int64
+		bytes int64
+	}
+	catalogue := make([]profile, kinds)
+	for i := range catalogue {
+		catalogue[i] = profile{
+			cost:  0.1 + rng.Float64()*4,
+			mem:   int64(1+rng.Intn(64)) << 20,
+			bytes: int64(1+rng.Intn(16)) << 10,
+		}
+	}
+	g := afg.New(fmt.Sprintf("scale-%d", tasks))
+	var prev []afg.TaskID
+	for made := 0; made < tasks; {
+		n := width
+		if rem := tasks - made; n > rem {
+			n = rem
+		}
+		var cur []afg.TaskID
+		for i := 0; i < n; i++ {
+			id := afg.TaskID(fmt.Sprintf("t%05d", made))
+			p := catalogue[rng.Intn(kinds)]
+			g.AddTask(&afg.Task{
+				ID: id, Function: "synthetic.noop",
+				ComputeCost: p.cost, MemReq: p.mem, OutputBytes: p.bytes,
+			})
+			cur = append(cur, id)
+			made++
+		}
+		for _, c := range cur {
+			if len(prev) == 0 {
+				continue
+			}
+			// Sparse rank-to-rank wiring: every task gets one parent plus a
+			// second with probability 1/4, keeping edges linear in tasks.
+			p := prev[rng.Intn(len(prev))]
+			g.AddLink(afg.Link{From: p, To: c, Bytes: g.Task(p).OutputBytes})
+			if rng.Intn(4) == 0 {
+				if q := prev[rng.Intn(len(prev))]; q != p {
+					g.AddLink(afg.Link{From: q, To: c, Bytes: g.Task(q).OutputBytes})
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}

@@ -1,0 +1,75 @@
+package dagen
+
+import (
+	"testing"
+
+	"repro/internal/afg"
+)
+
+// FuzzDagenValid fuzzes the parametric generator over its whole knob space:
+// whatever the knobs, the generated graph must have exactly the requested
+// task count, validate (non-empty, acyclic), be one weakly-connected
+// component, and survive a JSON round trip unchanged — the editor/scheduler
+// wire contract. Run the smoke in CI with:
+//
+//	go test -run=NONE -fuzz=FuzzDagenValid -fuzztime=10s ./internal/dagen
+func FuzzDagenValid(f *testing.F) {
+	f.Add(uint8(10), uint8(8), uint8(4), uint8(3), int64(1))
+	f.Add(uint8(1), uint8(0), uint8(1), uint8(0), int64(0))
+	f.Add(uint8(120), uint8(40), uint8(16), uint8(7), int64(-5))
+	f.Add(uint8(2), uint8(255), uint8(255), uint8(255), int64(1<<62))
+	f.Fuzz(func(t *testing.T, tasksB, ccrB, alphaB, outdegB uint8, seed int64) {
+		p := Params{
+			Tasks:     1 + int(tasksB)%150,
+			CCR:       float64(ccrB) / 8,    // 0 .. ~32
+			Alpha:     float64(alphaB) / 32, // 0 (defaulted) .. ~8
+			OutDegree: int(outdegB) % 9,     // 0 (defaulted) .. 8
+			Seed:      seed,
+		}
+		g := Random(p)
+		if g.Len() != p.Tasks {
+			t.Fatalf("%+v: %d tasks, want %d", p, g.Len(), p.Tasks)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if !connected(g) {
+			t.Fatalf("%+v: graph not connected", p)
+		}
+		if p.Tasks >= 2 {
+			if en := g.Entries(); len(en) != 1 {
+				t.Fatalf("%+v: %d entries", p, len(en))
+			}
+			if ex := g.Exits(); len(ex) != 1 {
+				t.Fatalf("%+v: %d exits", p, len(ex))
+			}
+		}
+
+		data, err := g.Encode()
+		if err != nil {
+			t.Fatalf("%+v: encode: %v", p, err)
+		}
+		back, err := afg.Decode(data)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", p, err)
+		}
+		if back.Name != g.Name || back.Len() != g.Len() {
+			t.Fatalf("%+v: round trip changed shape", p)
+		}
+		for _, id := range g.TaskIDs() {
+			a, b := g.Task(id), back.Task(id)
+			if b == nil || a.ComputeCost != b.ComputeCost || a.Function != b.Function {
+				t.Fatalf("%+v: task %q drifted in round trip", p, id)
+			}
+		}
+		al, bl := g.Links(), back.Links()
+		if len(al) != len(bl) {
+			t.Fatalf("%+v: link count drifted: %d vs %d", p, len(al), len(bl))
+		}
+		for i := range al {
+			if al[i] != bl[i] {
+				t.Fatalf("%+v: link %d drifted: %+v vs %+v", p, i, al[i], bl[i])
+			}
+		}
+	})
+}

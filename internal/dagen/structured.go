@@ -1,0 +1,124 @@
+package dagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/afg"
+)
+
+// The structured application graphs of the evaluation suite. Their shapes
+// are fixed by the algorithm (only costs and edge volumes are seeded), which
+// is exactly why the paper scores schedulers on them next to the random
+// suite: the random knobs cannot produce their characteristic skew — the
+// shrinking fan-out of Gaussian elimination, the butterfly of the FFT.
+
+// GaussianElimination builds the task graph of Gaussian elimination on an
+// m×m matrix: for each elimination step k there is one pivot task and m−k
+// row-update tasks; the pivot of step k+1 depends on step k's first update,
+// and each update depends on its step's pivot plus the same-column update of
+// the previous step. Total tasks: (m² + m − 2)/2. Costs and edge volumes are
+// drawn from p's MeanCost/CCR knobs (p.Tasks and shape knobs are ignored —
+// the matrix size fixes the shape).
+func GaussianElimination(m int, p Params) (*afg.Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("dagen: gaussian elimination needs m >= 2, got %d", m)
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := afg.New(fmt.Sprintf("gauss-m%d", m))
+
+	pivot := func(k int) afg.TaskID { return afg.TaskID(fmt.Sprintf("p%03d", k)) }
+	update := func(k, j int) afg.TaskID { return afg.TaskID(fmt.Sprintf("u%03d-%03d", k, j)) }
+
+	add := func(id afg.TaskID) {
+		g.AddTask(&afg.Task{
+			ID:          id,
+			Function:    "synthetic.noop",
+			ComputeCost: taskCost(rng, p.MeanCost),
+		})
+	}
+	link := func(from, to afg.TaskID) {
+		g.AddLink(afg.Link{From: from, To: to, Bytes: commBytes(rng, p)})
+	}
+
+	for k := 1; k < m; k++ {
+		add(pivot(k))
+		for j := k + 1; j <= m; j++ {
+			add(update(k, j))
+		}
+	}
+	for k := 1; k < m; k++ {
+		if k > 1 {
+			link(update(k-1, k), pivot(k)) // step k pivots on the previous step's first column
+		}
+		for j := k + 1; j <= m; j++ {
+			link(pivot(k), update(k, j))
+			if k > 1 {
+				link(update(k-1, j), update(k, j))
+			}
+		}
+	}
+	return g, nil
+}
+
+// FFT builds the task graph of a radix-2 fast Fourier transform on `points`
+// input points (a power of two): the recursive-call binary tree (2·points−1
+// tasks, the root is the single entry) followed by log₂(points) butterfly
+// levels of `points` tasks each, every butterfly reading its own lane and
+// its stride partner. Total tasks: 2·points − 1 + points·log₂(points).
+func FFT(points int, p Params) (*afg.Graph, error) {
+	if points < 2 || points&(points-1) != 0 {
+		return nil, fmt.Errorf("dagen: FFT needs a power-of-two point count >= 2, got %d", points)
+	}
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := afg.New(fmt.Sprintf("fft-n%d", points))
+
+	add := func(id afg.TaskID) {
+		g.AddTask(&afg.Task{
+			ID:          id,
+			Function:    "synthetic.noop",
+			ComputeCost: taskCost(rng, p.MeanCost),
+		})
+	}
+	link := func(from, to afg.TaskID) {
+		g.AddLink(afg.Link{From: from, To: to, Bytes: commBytes(rng, p)})
+	}
+
+	logn := 0
+	for 1<<logn < points {
+		logn++
+	}
+	// Divide phase: binary tree, level d has 2^d call tasks.
+	call := func(d, i int) afg.TaskID { return afg.TaskID(fmt.Sprintf("c%02d-%04d", d, i)) }
+	for d := 0; d <= logn; d++ {
+		for i := 0; i < 1<<d; i++ {
+			add(call(d, i))
+			if d > 0 {
+				link(call(d-1, i/2), call(d, i))
+			}
+		}
+	}
+	// Butterfly phase: level l combines lanes at stride 2^(l-1); every lane
+	// reads itself and its partner from the level below (the tree leaves for
+	// l = 1).
+	fly := func(l, i int) afg.TaskID { return afg.TaskID(fmt.Sprintf("b%02d-%04d", l, i)) }
+	for l := 1; l <= logn; l++ {
+		stride := 1 << (l - 1)
+		for i := 0; i < points; i++ {
+			add(fly(l, i))
+		}
+		for i := 0; i < points; i++ {
+			self, partner := i, i^stride
+			if l == 1 {
+				link(call(logn, self), fly(l, i))
+				link(call(logn, partner), fly(l, i))
+			} else {
+				link(fly(l-1, self), fly(l, i))
+				link(fly(l-1, partner), fly(l, i))
+			}
+		}
+	}
+	return g, nil
+}

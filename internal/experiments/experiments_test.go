@@ -265,7 +265,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 12 {
+	if len(results) != 13 {
 		t.Fatalf("results = %d", len(results))
 	}
 	seen := map[string]bool{}

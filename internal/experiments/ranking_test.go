@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/experiments -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestRankingCoversGridAndRegistry(t *testing.T) {
+	cfg := DefaultRankingConfig(1)
+	cfg.Sizes = []int{10, 25}
+	cfg.CCRs = []float64{0.5, 2}
+	cfg.GraphsPerCell = 2
+	r, err := RankingWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := scheduler.Policies()
+	if want := len(cfg.Sizes) * len(cfg.CCRs); len(r.Series.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Series.Rows), want)
+	}
+	if len(r.Series.YLabels) != 1+len(names) { // "ccr" + one SLR column per policy
+		t.Fatalf("ylabels = %v", r.Series.YLabels)
+	}
+	if got := int(r.Metrics["runs"]); got != len(cfg.Sizes)*len(cfg.CCRs)*cfg.GraphsPerCell {
+		t.Fatalf("runs = %d", got)
+	}
+	bestTotal := 0
+	for _, name := range names {
+		slr := r.Metrics["slr_"+name]
+		if slr < 1 {
+			t.Fatalf("policy %s: mean SLR %v below the lower bound", name, slr)
+		}
+		sp := r.Metrics["speedup_"+name]
+		if sp <= 0 {
+			t.Fatalf("policy %s: speedup %v", name, sp)
+		}
+		bestTotal += int(r.Metrics["best_"+name])
+	}
+	// Joint bests may double-count, but every run crowns at least one.
+	if bestTotal < int(r.Metrics["runs"]) {
+		t.Fatalf("best counts %d < runs %v", bestTotal, r.Metrics["runs"])
+	}
+	// Pairwise counts are consistent: wins(a,b) + wins(b,a) <= runs.
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			ab := int(r.Metrics["wins_"+a+"_vs_"+b])
+			ba := int(r.Metrics["wins_"+b+"_vs_"+a])
+			if ab+ba > int(r.Metrics["runs"]) {
+				t.Fatalf("pairwise %s/%s inconsistent: %d + %d > %v", a, b, ab, ba, r.Metrics["runs"])
+			}
+		}
+	}
+}
+
+// Every run of a cell scores every selected policy, and per-run SLR stays
+// at or above 1 — the critical-path bound is a real lower bound.
+func TestRankingCellsSLRBound(t *testing.T) {
+	cfg := DefaultRankingConfig(3)
+	cfg.Sizes = []int{15}
+	cfg.CCRs = []float64{1}
+	cfg.GraphsPerCell = 2
+	cfg.Policies = []string{"heft", "cpop", "random"}
+	cells, names, err := RankingCells(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || len(cells) != 2 {
+		t.Fatalf("names %v, cells %d", names, len(cells))
+	}
+	for _, c := range cells {
+		if len(c.Makespan) != len(names) || len(c.SLR) != len(names) || len(c.Speedup) != len(names) {
+			t.Fatalf("ragged cell %+v", c)
+		}
+		for p := range names {
+			if c.SLR[p] < 1 {
+				t.Fatalf("%s: SLR %v < 1 (v=%d ccr=%g)", names[p], c.SLR[p], c.Size, c.CCR)
+			}
+		}
+	}
+}
+
+// rankingGolden is the committed shape of the golden run.
+type rankingGolden struct {
+	Policies []string      `json:"policies"`
+	Cells    []RankingCell `json:"cells"`
+}
+
+// goldenConfig is the fixed-seed mini-grid whose makespans and SLRs are
+// committed under testdata. Any PR that changes these numbers changed
+// scheduling or simulation behavior and must either fix the regression or
+// consciously re-bless the file with -update.
+func goldenConfig() RankingConfig {
+	cfg := DefaultRankingConfig(7)
+	cfg.Sizes = []int{10, 20, 30}
+	cfg.CCRs = []float64{0.5, 1, 2}
+	cfg.GraphsPerCell = 1
+	return cfg
+}
+
+func TestRankingGolden(t *testing.T) {
+	cells, names, err := RankingCells(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rankingGolden{Policies: names, Cells: cells}
+	path := filepath.Join("testdata", "ranking_golden.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d cells × %d policies)", path, len(cells), len(names))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	var want rankingGolden
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Policies) != len(got.Policies) {
+		t.Fatalf("policy set changed: golden %v, now %v — re-bless with -update if intended",
+			want.Policies, got.Policies)
+	}
+	for i := range want.Policies {
+		if want.Policies[i] != got.Policies[i] {
+			t.Fatalf("policy set changed: golden %v, now %v — re-bless with -update if intended",
+				want.Policies, got.Policies)
+		}
+	}
+	if len(want.Cells) != len(got.Cells) {
+		t.Fatalf("cell count changed: golden %d, now %d", len(want.Cells), len(got.Cells))
+	}
+	for i, w := range want.Cells {
+		g := got.Cells[i]
+		if w.Size != g.Size || w.CCR != g.CCR || w.Graph != g.Graph {
+			t.Fatalf("cell %d identity changed: golden {v=%d ccr=%g g=%d}, now {v=%d ccr=%g g=%d}",
+				i, w.Size, w.CCR, w.Graph, g.Size, g.CCR, g.Graph)
+		}
+		for p := range want.Policies {
+			if w.Makespan[p] != g.Makespan[p] {
+				t.Errorf("cell v=%d ccr=%g: %s makespan drifted: golden %v, now %v",
+					w.Size, w.CCR, want.Policies[p], w.Makespan[p], g.Makespan[p])
+			}
+			if w.SLR[p] != g.SLR[p] {
+				t.Errorf("cell v=%d ccr=%g: %s SLR drifted: golden %v, now %v",
+					w.Size, w.CCR, want.Policies[p], w.SLR[p], g.SLR[p])
+			}
+			if w.Speedup[p] != g.Speedup[p] {
+				t.Errorf("cell v=%d ccr=%g: %s speedup drifted: golden %v, now %v",
+					w.Size, w.CCR, want.Policies[p], w.Speedup[p], g.Speedup[p])
+			}
+		}
+	}
+	if t.Failed() {
+		t.Log("behavior drifted from the golden run; if the change is intended, re-bless with: go test ./internal/experiments -run RankingGolden -update")
+	}
+}

@@ -6,11 +6,11 @@ import (
 	"time"
 
 	"repro/internal/afg"
+	"repro/internal/dagen"
 	"repro/internal/predict"
 	"repro/internal/repository"
 	"repro/internal/scheduler"
 	"repro/internal/vis"
-	"repro/internal/workload"
 )
 
 // Scale-scheduling experiment parameters: well past the paper's testbed
@@ -82,7 +82,7 @@ func scaleScheduler(seed int64, cached bool, concurrency int) (*scheduler.SiteSc
 func scaleGraphSet(seed int64) []*afg.Graph {
 	graphs := make([]*afg.Graph, scaleGraphs)
 	for i := range graphs {
-		graphs[i] = workload.Scale(scaleTasks, 25, scaleKinds, seed+int64(i)*101)
+		graphs[i] = dagen.Scale(scaleTasks, 25, scaleKinds, seed+int64(i)*101)
 	}
 	return graphs
 }

@@ -1,0 +1,255 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+)
+
+// This file is the independent schedule validator: an oracle-grade audit of
+// an AllocationTable against the simulator's execution semantics. It is
+// deliberately written against the map-keyed Graph API with a naive
+// quadratic ready-scan — no dense Index, no event heap, no shared code with
+// Simulate — so a bug in the optimized scheduling or simulation core cannot
+// hide from it. Experiments call it on every schedule they score, and the
+// policy property tests use it as their backbone: whatever a policy emits
+// must replay without precedence violations, without two tasks overlapping
+// on one host, and with every inter-site transfer accounted.
+
+// ScheduledSpan is one task's realized execution interval in the audit.
+type ScheduledSpan struct {
+	Task  afg.TaskID
+	Site  string
+	Hosts []string
+	Start float64
+	End   float64
+}
+
+// ScheduleAudit is the validator's reconstruction of the schedule: every
+// task's interval (ascending by start time, task id on ties) plus the
+// resulting makespan. Makespan equals Simulate's result exactly — the
+// equivalence the property tests pin.
+type ScheduleAudit struct {
+	Spans    []ScheduledSpan
+	Makespan float64
+}
+
+// Span returns the audited interval of one task.
+func (a *ScheduleAudit) Span(id afg.TaskID) (ScheduledSpan, bool) {
+	for _, s := range a.Spans {
+		if s.Task == id {
+			return s, true
+		}
+	}
+	return ScheduledSpan{}, false
+}
+
+// ValidateSchedule audits table against the graph, ground-truth time model,
+// and network: it checks the table is complete and well-formed, replays it
+// under the documented execution semantics (a task starts when every parent
+// has finished, transfers have arrived, and its hosts are free; among ready
+// tasks the earliest start runs first, ties by id), and then re-verifies the
+// realized intervals independently — precedence plus transfer accounting
+// link by link, and per-host mutual exclusion interval by interval. Any
+// violation is an error naming the offending tasks.
+func ValidateSchedule(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (*ScheduleAudit, error) {
+	if g == nil || g.Len() == 0 {
+		return nil, afg.ErrEmpty
+	}
+	if table == nil {
+		return nil, fmt.Errorf("scheduler: validate: nil allocation table")
+	}
+	ids := g.TaskIDs()
+	if err := checkTableShape(g, table, ids); err != nil {
+		return nil, err
+	}
+	audit, err := replay(g, table, model, net, ids)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPrecedence(g, net, audit); err != nil {
+		return nil, err
+	}
+	if err := checkHostExclusive(audit); err != nil {
+		return nil, err
+	}
+	return audit, nil
+}
+
+// checkTableShape verifies the table covers the graph exactly: every task
+// assigned once, no assignments for unknown tasks, and each assignment
+// naming a primary host that belongs to its host set.
+func checkTableShape(g *afg.Graph, table *AllocationTable, ids []afg.TaskID) error {
+	for id, a := range table.Entries {
+		if g.Task(id) == nil {
+			return fmt.Errorf("scheduler: validate: assignment for unknown task %q", id)
+		}
+		if a.Task != id {
+			return fmt.Errorf("scheduler: validate: entry %q names task %q", id, a.Task)
+		}
+		if a.Host == "" {
+			return fmt.Errorf("scheduler: validate: task %q has no host", id)
+		}
+		if len(a.Hosts) > 0 {
+			member := false
+			for _, h := range a.Hosts {
+				if h == "" {
+					return fmt.Errorf("scheduler: validate: task %q has an empty host in its host set", id)
+				}
+				if h == a.Host {
+					member = true
+				}
+			}
+			if !member {
+				return fmt.Errorf("scheduler: validate: task %q primary host %q not in host set %v", id, a.Host, a.Hosts)
+			}
+		}
+	}
+	for _, id := range ids {
+		if _, ok := table.Get(id); !ok {
+			return fmt.Errorf("scheduler: validate: task %q missing from allocation table", id)
+		}
+	}
+	return nil
+}
+
+// replay executes the table under the simulator's semantics with a naive
+// quadratic ready-scan: every iteration rescans all unfinished tasks whose
+// parents are done, computes each one's earliest start from scratch, and
+// runs the (start, id)-minimal one. Identical arithmetic to Simulate —
+// start = max(parent finish + transfer, host free) and duration split
+// across a parallel host set — so the realized times match it bit for bit.
+func replay(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network, ids []afg.TaskID) (*ScheduleAudit, error) {
+	finish := make(map[afg.TaskID]float64, len(ids))
+	done := make(map[afg.TaskID]bool, len(ids))
+	hostFree := map[string]float64{}
+
+	startOf := func(id afg.TaskID) float64 {
+		a, _ := table.Get(id)
+		hosts := effectiveHosts(a)
+		var start float64
+		for _, l := range g.Parents(id) {
+			p, _ := table.Get(l.From)
+			arrive := finish[l.From]
+			if net != nil && !sharesHost(effectiveHosts(p), hosts) {
+				arrive += net.TransferTime(p.Site, a.Site, transferBytes(g, l)).Seconds()
+			}
+			start = math.Max(start, arrive)
+		}
+		for _, h := range hosts {
+			start = math.Max(start, hostFree[h])
+		}
+		return start
+	}
+
+	audit := &ScheduleAudit{Spans: make([]ScheduledSpan, 0, len(ids))}
+	for completed := 0; completed < len(ids); completed++ {
+		pick := afg.TaskID("")
+		var pickStart float64
+		for _, id := range ids {
+			if done[id] {
+				continue
+			}
+			ready := true
+			for _, l := range g.Parents(id) {
+				if !done[l.From] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			s := startOf(id)
+			if pick == "" || s < pickStart {
+				pick, pickStart = id, s
+			}
+		}
+		if pick == "" {
+			return nil, fmt.Errorf("scheduler: validate: deadlock with %d tasks pending", len(ids)-completed)
+		}
+		a, _ := table.Get(pick)
+		hosts := effectiveHosts(a)
+		dur := model(g.Task(pick), a.Host)
+		if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+			return nil, fmt.Errorf("scheduler: validate: invalid duration %v for task %q", dur, pick)
+		}
+		if len(hosts) > 1 {
+			dur /= float64(len(hosts))
+		}
+		end := pickStart + dur
+		finish[pick] = end
+		done[pick] = true
+		for _, h := range hosts {
+			hostFree[h] = end
+		}
+		audit.Spans = append(audit.Spans, ScheduledSpan{
+			Task: pick, Site: a.Site, Hosts: hosts, Start: pickStart, End: end,
+		})
+		audit.Makespan = math.Max(audit.Makespan, end)
+	}
+	sort.Slice(audit.Spans, func(i, j int) bool {
+		if audit.Spans[i].Start != audit.Spans[j].Start {
+			return audit.Spans[i].Start < audit.Spans[j].Start
+		}
+		return audit.Spans[i].Task < audit.Spans[j].Task
+	})
+	return audit, nil
+}
+
+// checkPrecedence re-verifies every link against the realized intervals
+// alone (the audit spans carry the sites and host sets): the child may not
+// start before the parent's finish plus the inter-site transfer (zero when
+// the two assignments share a host).
+func checkPrecedence(g *afg.Graph, net *netsim.Network, audit *ScheduleAudit) error {
+	span := make(map[afg.TaskID]ScheduledSpan, len(audit.Spans))
+	for _, s := range audit.Spans {
+		span[s.Task] = s
+	}
+	for _, l := range g.Links() {
+		parent, child := span[l.From], span[l.To]
+		need := parent.End
+		if net != nil && !sharesHost(parent.Hosts, child.Hosts) {
+			need += net.TransferTime(parent.Site, child.Site, transferBytes(g, l)).Seconds()
+		}
+		if child.Start < need {
+			return fmt.Errorf("scheduler: validate: precedence violation %s -> %s: child starts %v before data ready %v",
+				l.From, l.To, child.Start, need)
+		}
+	}
+	return nil
+}
+
+// checkHostExclusive re-verifies per-host mutual exclusion: on every host,
+// the realized intervals must be disjoint (a host is a single workstation;
+// parallel tasks occupy their whole host set for their full interval).
+func checkHostExclusive(audit *ScheduleAudit) error {
+	type interval struct {
+		task       afg.TaskID
+		start, end float64
+	}
+	byHost := map[string][]interval{}
+	for _, s := range audit.Spans {
+		for _, h := range s.Hosts {
+			byHost[h] = append(byHost[h], interval{s.Task, s.Start, s.End})
+		}
+	}
+	for host, iv := range byHost {
+		sort.Slice(iv, func(i, j int) bool {
+			if iv[i].start != iv[j].start {
+				return iv[i].start < iv[j].start
+			}
+			return iv[i].task < iv[j].task
+		})
+		for i := 1; i < len(iv); i++ {
+			if iv[i].start < iv[i-1].end {
+				return fmt.Errorf("scheduler: validate: host %s double-booked: %s [%v, %v) overlaps %s [%v, %v)",
+					host, iv[i-1].task, iv[i-1].start, iv[i-1].end, iv[i].task, iv[i].start, iv[i].end)
+			}
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"repro/internal/afg"
+	"repro/internal/dagen"
 	"repro/internal/tasklib"
 )
 
@@ -251,69 +252,12 @@ func LayeredRandom(cfg LayeredConfig) *afg.Graph {
 	return g
 }
 
-// Scale builds a layered DAG of exactly `tasks` tasks (width tasks per rank,
-// the last rank padded short) whose cost/memory/output parameters are drawn
-// from a catalogue of `kinds` distinct task profiles — the shape of a real
-// task library, where thousands of task instances share a handful of
-// function configurations. The scale benchmarks use it: repeated profiles
-// are what a (kind, size, resource)-keyed prediction cache can exploit.
+// Scale builds the task-library-shaped layered DAG the scale benchmarks
+// use.
+//
+// Deprecated: the construction moved to the seeded-generator package — call
+// dagen.Scale directly. This wrapper delegates (graphs are bit-identical)
+// and remains for callers that only know the workload families.
 func Scale(tasks, width, kinds int, seed int64) *afg.Graph {
-	if tasks < 1 {
-		tasks = 1
-	}
-	if width < 1 {
-		width = 1
-	}
-	if kinds < 1 {
-		kinds = 1
-	}
-	rng := rand.New(rand.NewSource(seed))
-	type profile struct {
-		cost  float64
-		mem   int64
-		bytes int64
-	}
-	catalogue := make([]profile, kinds)
-	for i := range catalogue {
-		catalogue[i] = profile{
-			cost:  0.1 + rng.Float64()*4,
-			mem:   int64(1+rng.Intn(64)) << 20,
-			bytes: int64(1+rng.Intn(16)) << 10,
-		}
-	}
-	g := afg.New(fmt.Sprintf("scale-%d", tasks))
-	var prev []afg.TaskID
-	for made := 0; made < tasks; {
-		n := width
-		if rem := tasks - made; n > rem {
-			n = rem
-		}
-		var cur []afg.TaskID
-		for i := 0; i < n; i++ {
-			id := afg.TaskID(fmt.Sprintf("t%05d", made))
-			p := catalogue[rng.Intn(kinds)]
-			g.AddTask(&afg.Task{
-				ID: id, Function: "synthetic.noop",
-				ComputeCost: p.cost, MemReq: p.mem, OutputBytes: p.bytes,
-			})
-			cur = append(cur, id)
-			made++
-		}
-		for _, c := range cur {
-			if len(prev) == 0 {
-				continue
-			}
-			// Sparse rank-to-rank wiring: every task gets one parent plus a
-			// second with probability 1/4, keeping edges linear in tasks.
-			p := prev[rng.Intn(len(prev))]
-			g.AddLink(afg.Link{From: p, To: c, Bytes: g.Task(p).OutputBytes})
-			if rng.Intn(4) == 0 {
-				if q := prev[rng.Intn(len(prev))]; q != p {
-					g.AddLink(afg.Link{From: q, To: c, Bytes: g.Task(q).OutputBytes})
-				}
-			}
-		}
-		prev = cur
-	}
-	return g
+	return dagen.Scale(tasks, width, kinds, seed)
 }
