@@ -1,0 +1,93 @@
+// Command vdce-vet runs the repo's domain-specific static analyzers: the
+// mechanical enforcement of the determinism, float-exactness, lock
+// discipline, and evaluation-coverage invariants everything else in this
+// reproduction leans on. See internal/lint for the rules and the
+// //vdce:ignore suppression convention.
+//
+// Usage:
+//
+//	vdce-vet [flags] [packages]
+//
+// With no packages it analyzes ./... . Exits 1 if any unsuppressed finding
+// remains, 0 on a clean tree — CI runs it as a required check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdce-vet [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for r := range want {
+				unknown = append(unknown, r)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "vdce-vet: unknown rule(s): %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vdce-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/vis"
@@ -41,15 +42,18 @@ func main() {
 	for _, a := range table.Entries {
 		victims[a.Host] = true
 	}
-	fmt.Println("\nFailing hosts mid-flight:")
-	count := 0
+	used := make([]string, 0, len(victims))
 	for h := range victims {
-		if count >= 2 { // keep some survivors
-			break
-		}
+		used = append(used, h)
+	}
+	sort.Strings(used)
+	if len(used) > 2 {
+		used = used[:2] // keep some survivors
+	}
+	fmt.Println("\nFailing hosts mid-flight:")
+	for _, h := range used {
 		fmt.Printf("  %s goes down\n", h)
 		m.Pool.Get(h).SetDown(true)
-		count++
 	}
 
 	res2, _, err := env.Submit(context.Background(), "syracuse", g)

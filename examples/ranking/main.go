@@ -45,7 +45,12 @@ func main() {
 			})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].slr < rows[j].slr })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].slr != rows[j].slr {
+			return rows[i].slr < rows[j].slr
+		}
+		return rows[i].name < rows[j].name
+	})
 	fmt.Printf("\nacross all %d runs (better SLR first):\n", int(res.Metrics["runs"]))
 	fmt.Printf("  %-12s %8s %9s %6s\n", "policy", "SLR", "speedup", "best")
 	for _, r := range rows {

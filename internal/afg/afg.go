@@ -340,11 +340,14 @@ func (g *Graph) CriticalPathLength() (float64, error) {
 	return max, nil
 }
 
-// TotalWork returns the sum of all task computation costs.
+// TotalWork returns the sum of all task computation costs. Summation runs
+// in sorted task-id order: float addition is not bitwise-commutative, so a
+// map-order walk would return different low bits run to run — observable
+// wherever the value is serialized (the editor's /validate response).
 func (g *Graph) TotalWork() float64 {
 	var sum float64
-	for _, t := range g.tasks {
-		sum += t.ComputeCost
+	for _, id := range g.TaskIDs() {
+		sum += g.tasks[id].ComputeCost
 	}
 	return sum
 }

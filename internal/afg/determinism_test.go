@@ -1,0 +1,49 @@
+package afg
+
+import "testing"
+
+// TestTotalWorkOrderIndependent pins the determinism contract on TotalWork:
+// float64 addition is not associative, so summing ComputeCost in map
+// iteration order would let the same graph report different totals from run
+// to run (observable through the editor's /validate JSON). The costs below
+// are chosen so that at least two addition orders disagree in the last bit.
+func TestTotalWorkOrderIndependent(t *testing.T) {
+	costs := map[TaskID]float64{"a": 0.1, "b": 0.2, "c": 0.3, "d": 0.4}
+	ids := []TaskID{"a", "b", "c", "d"}
+
+	build := func(order []TaskID) *Graph {
+		g := New("perm")
+		for _, id := range order {
+			if err := g.AddTask(&Task{ID: id, Function: "noop", ComputeCost: costs[id]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+
+	// The contract: the sum is taken in ascending TaskID order.
+	var want float64
+	for _, id := range ids {
+		want += costs[id]
+	}
+
+	var perms func(order []TaskID, k int)
+	perms = func(order []TaskID, k int) {
+		if k == len(order) {
+			g := build(order)
+			for i := 0; i < 50; i++ {
+				//vdce:ignore floateq bit-identity across insertion orders and repeated calls is the property under test
+				if got := g.TotalWork(); got != want {
+					t.Fatalf("TotalWork() = %.17g for insertion order %v, want %.17g", got, order, want)
+				}
+			}
+			return
+		}
+		for i := k; i < len(order); i++ {
+			order[k], order[i] = order[i], order[k]
+			perms(order, k+1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	perms(append([]TaskID(nil), ids...), 0)
+}

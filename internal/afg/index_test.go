@@ -118,7 +118,7 @@ func TestIndexTopoAndLevelsMatchMapAPIs(t *testing.T) {
 	}
 	dense := ix.Levels()
 	for i, v := range dense {
-		if levels[ix.ID(i)] != v {
+		if levels[ix.ID(i)] != v { //vdce:ignore floateq dense-vs-map equivalence: both sides compute the same expression, bit identity intended
 			t.Fatalf("levels[%s] = %v dense, %v map", ix.ID(i), v, levels[ix.ID(i)])
 		}
 	}

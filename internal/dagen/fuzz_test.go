@@ -58,6 +58,7 @@ func FuzzDagenValid(f *testing.F) {
 		}
 		for _, id := range g.TaskIDs() {
 			a, b := g.Task(id), back.Task(id)
+			//vdce:ignore floateq serialization round trip: costs must come back bit-identical
 			if b == nil || a.ComputeCost != b.ComputeCost || a.Function != b.Function {
 				t.Fatalf("%+v: task %q drifted in round trip", p, id)
 			}

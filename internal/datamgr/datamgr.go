@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/netsim"
@@ -123,14 +124,14 @@ type Proxy struct {
 	quit    chan struct{}
 
 	mu     sync.Mutex
-	outs   map[string]*outChannel
-	ins    []net.Conn // accepted connections, closed on shutdown
-	peers  map[string]PeerInfo
-	seq    map[string]int
-	closed bool
+	outs   map[string]*outChannel // guarded by mu
+	ins    []net.Conn             // accepted connections, closed on shutdown; guarded by mu
+	peers  map[string]PeerInfo    // guarded by mu
+	seq    map[string]int         // guarded by mu
+	closed bool                   // guarded by mu
 	wg     sync.WaitGroup
 
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 type outChannel struct {
@@ -317,8 +318,13 @@ func (p *Proxy) Close() {
 
 	close(p.quit)
 	p.ln.Close()
-	for _, o := range outs {
-		o.conn.Close()
+	names := make([]string, 0, len(outs))
+	for name := range outs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		outs[name].conn.Close()
 	}
 	for _, c := range ins {
 		c.Close()

@@ -44,12 +44,12 @@ type HomeAPI interface {
 // Home is the authoritative manager for a set of regions.
 type Home struct {
 	mu      sync.Mutex
-	regions map[string]*region
-	subs    map[int]func(name string, v Version)
-	nextSub int
+	regions map[string]*region                   // guarded by mu
+	subs    map[int]func(name string, v Version) // guarded by mu
+	nextSub int                                  // guarded by mu
 
 	// stats
-	stores, fetches, stats int
+	stores, fetches, stats int // guarded by mu
 }
 
 type region struct {
@@ -104,10 +104,16 @@ func (h *Home) Store(name string, data []byte) (Version, error) {
 	r.data = append([]byte(nil), data...)
 	r.version++
 	v := r.version
-	// Snapshot subscribers so callbacks run outside the lock.
-	cbs := make([]func(string, Version), 0, len(h.subs))
-	for _, cb := range h.subs {
-		cbs = append(cbs, cb)
+	// Snapshot subscribers so callbacks run outside the lock, in
+	// subscription order so invalidations fire deterministically.
+	ids := make([]int, 0, len(h.subs))
+	for id := range h.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	cbs := make([]func(string, Version), 0, len(ids))
+	for _, id := range ids {
+		cbs = append(cbs, h.subs[id])
 	}
 	h.mu.Unlock()
 	for _, cb := range cbs {

@@ -1,0 +1,44 @@
+package editor
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestHTTPValidateDeterministic requires /validate to return byte-identical
+// JSON for the same document. The reply folds map-backed state (task set,
+// entry/exit sets, total work) into one payload, so any order-dependent
+// traversal — including the float64 summation order inside TotalWork —
+// shows up here as response flicker.
+func TestHTTPValidateDeterministic(t *testing.T) {
+	srv, _ := newHTTP(t)
+	b := buildSolver(t)
+	data, err := b.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for i := 0; i < 30; i++ {
+		resp, err := http.Post(srv.URL+"/validate", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body = %s", resp.StatusCode, body)
+		}
+		if first == nil {
+			first = body
+			continue
+		}
+		if !bytes.Equal(body, first) {
+			t.Fatalf("reply #%d differs:\n  first: %s\n  now:   %s", i, first, body)
+		}
+	}
+}

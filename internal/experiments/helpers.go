@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/afg"
@@ -69,8 +70,15 @@ func repoSiteSkewed(name string, hosts int, spread float64, seed int64) *reposit
 // these closed-world experiments).
 func truthFromRepos(sites map[string]*repository.Repository) scheduler.TimeModel {
 	specs := map[string]repository.ResourceRecord{}
-	for _, repo := range sites {
-		for _, rec := range repo.Resources.List() {
+	// Sorted site order: duplicate host names across repositories resolve
+	// by last write, which must not depend on map iteration order.
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, rec := range sites[name].Resources.List() {
 			specs[rec.Static.HostName] = rec
 		}
 	}

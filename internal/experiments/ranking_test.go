@@ -1,3 +1,4 @@
+//vdce:ignore-file floateq golden regression file: exact equality against the blessed RANKING grid is the contract
 package experiments
 
 import (

@@ -100,6 +100,7 @@ func tablesMatch(a, b *scheduler.AllocationTable) bool {
 		}
 		x, _ := a.Get(ao[i])
 		y, _ := b.Get(bo[i])
+		//vdce:ignore floateq bit-identity is the contract: concurrent scheduling must reproduce the serial tables exactly
 		if x.Site != y.Site || x.Host != y.Host || x.Predicted != y.Predicted || len(x.Hosts) != len(y.Hosts) {
 			return false
 		}

@@ -1,0 +1,246 @@
+// Package lint is vdce-vet's analyzer suite: domain-specific static
+// analysis that mechanically enforces the invariants the reproduction's
+// claims rest on — deterministic iteration wherever output is observable,
+// bit-exact float comparison only where it is the point, lock discipline on
+// mutex-guarded state, and full evaluation coverage of every registered
+// scheduling policy.
+//
+// Analyzers are deliberately conservative: they flag everything they cannot
+// prove safe and rely on an explicit, reviewable suppression to waive a
+// finding. A suppression is a comment of the form
+//
+//	//vdce:ignore <rule>[,<rule>...] <reason>
+//
+// on the offending line or the line directly above it, or
+//
+//	//vdce:ignore-file <rule>[,<rule>...] <reason>
+//
+// anywhere in a file to waive a rule file-wide. The reason is mandatory:
+// a suppression without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string // one-line invariant statement, shown by vdce-vet -list
+	Run  func(*Pass)
+}
+
+// A Finding is one rule violation at a position.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// A Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Rule: p.Analyzer.Name,
+		Pos:  p.Pkg.Fset.Position(pos),
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if the checker did not record one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// The suppression rule name: malformed //vdce:ignore comments are reported
+// under it so the "every suppression carries a reason" policy is itself
+// machine-checked.
+const suppressionRule = "suppression"
+
+const (
+	ignoreDirective     = "//vdce:ignore "
+	ignoreFileDirective = "//vdce:ignore-file "
+)
+
+type suppression struct {
+	rules     []string
+	line      int
+	fileWide  bool
+	hasReason bool
+	pos       token.Pos
+	file      string
+}
+
+func (s suppression) covers(rule string, f Finding) bool {
+	if f.Pos.Filename != s.file {
+		return false
+	}
+	found := false
+	for _, r := range s.rules {
+		if r == rule {
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	return s.fileWide || f.Pos.Line == s.line || f.Pos.Line == s.line+1
+}
+
+// parseSuppressions scans a file's comments for //vdce:ignore directives.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, fileWide := "", false
+			switch {
+			case strings.HasPrefix(c.Text, ignoreFileDirective):
+				text, fileWide = c.Text[len(ignoreFileDirective):], true
+			case c.Text == strings.TrimSpace(ignoreFileDirective):
+				text, fileWide = "", true
+			case strings.HasPrefix(c.Text, ignoreDirective):
+				text = c.Text[len(ignoreDirective):]
+			case c.Text == strings.TrimSpace(ignoreDirective):
+				text = ""
+			default:
+				continue
+			}
+			fields := strings.Fields(text)
+			s := suppression{
+				fileWide: fileWide,
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+				file:     fset.Position(c.Pos()).Filename,
+			}
+			if len(fields) > 0 {
+				s.rules = strings.Split(fields[0], ",")
+				s.hasReason = len(fields) > 1
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages, applies suppressions, and
+// returns the surviving findings sorted by position. Malformed suppressions
+// (no rule, no reason, or an unknown rule name) are reported as findings of
+// the "suppression" pseudo-rule, so `vdce-vet` clean means every waiver in
+// the tree names a real rule and carries a reason.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var sups []suppression
+		for _, sf := range pkg.Files {
+			sups = append(sups, parseSuppressions(pkg.Fset, sf.AST)...)
+		}
+		for _, s := range sups {
+			if len(s.rules) == 0 {
+				findings = append(findings, Finding{
+					Rule: suppressionRule,
+					Pos:  pkg.Fset.Position(s.pos),
+					Msg:  "//vdce:ignore needs a rule name and a reason",
+				})
+				continue
+			}
+			for _, r := range s.rules {
+				if !known[r] {
+					findings = append(findings, Finding{
+						Rule: suppressionRule,
+						Pos:  pkg.Fset.Position(s.pos),
+						Msg:  fmt.Sprintf("//vdce:ignore names unknown rule %q (known: %s)", r, strings.Join(ruleNames(), ", ")),
+					})
+				}
+			}
+			if !s.hasReason {
+				findings = append(findings, Finding{
+					Rule: suppressionRule,
+					Pos:  pkg.Fset.Position(s.pos),
+					Msg:  fmt.Sprintf("//vdce:ignore %s needs a reason", strings.Join(s.rules, ",")),
+				})
+			}
+		}
+
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			suppressed := false
+			for _, s := range sups {
+				if s.covers(f.Rule, f) {
+					suppressed = true
+					break
+				}
+			}
+			if !suppressed {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	// Deduplicate: overlapping analyzers may land on the same position.
+	out := findings[:0]
+	for i, f := range findings {
+		if i == 0 || f != findings[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Analyzers returns the full suite with repo-default configuration.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapOrder(),
+		FloatEq(),
+		LockDiscipline(),
+		RegistryCheck("", ""),
+	}
+}
+
+func ruleNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	out = append(out, suppressionRule)
+	sort.Strings(out)
+	return out
+}

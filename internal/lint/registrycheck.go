@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// Default evaluation-coverage artifacts, relative to the module root.
+const (
+	defaultGoldenPath    = "internal/experiments/testdata/ranking_golden.json"
+	defaultValidatorPath = "internal/scheduler/validate_test.go"
+)
+
+// RegistryCheck returns the registrycheck analyzer.
+//
+// Invariant: every policy handed to scheduler.Register appears in the
+// RANKING golden grid and is exercised by the validator property test. Both
+// enumerate scheduler.Policies() dynamically, so at run time a new policy
+// joins automatically — but the committed golden file pins the grid, and a
+// policy registered without re-blessing it is a silent coverage hole: no
+// SLR row, no validator certification, no regression net. The analyzer
+// statically resolves each Register call's policy name (constant Name()
+// methods and name-field passthroughs) and cross-checks the artifacts.
+//
+// goldenPath and validatorPath override the artifact locations (fixture
+// tests use this); empty strings select the repo defaults.
+func RegistryCheck(goldenPath, validatorPath string) *Analyzer {
+	if goldenPath == "" {
+		goldenPath = defaultGoldenPath
+	}
+	if validatorPath == "" {
+		validatorPath = defaultValidatorPath
+	}
+	a := &Analyzer{
+		Name: "registrycheck",
+		Doc:  "every Register'd policy appears in the RANKING golden grid and the validator property test",
+	}
+	a.Run = func(pass *Pass) {
+		calls := registerCalls(pass)
+		if len(calls) == 0 {
+			return
+		}
+		golden, goldenErr := loadGoldenPolicies(filepath.Join(pass.Pkg.RootDir, goldenPath))
+		validator, validatorErr := os.ReadFile(filepath.Join(pass.Pkg.RootDir, validatorPath))
+		dynamicValidator := validatorErr == nil && dynamicPoliciesRE.Match(validator)
+		for _, call := range calls {
+			name, ok := resolvePolicyName(pass, call)
+			if !ok {
+				continue // already reported
+			}
+			if goldenErr != nil {
+				pass.Reportf(call.Pos(), "policy %q: cannot read RANKING golden %s: %v", name, goldenPath, goldenErr)
+			} else if !golden[name] {
+				pass.Reportf(call.Pos(),
+					"policy %q is registered but missing from the RANKING golden grid (%s); re-bless the golden so the policy is ranked and regression-pinned",
+					name, goldenPath)
+			}
+			if validatorErr != nil {
+				pass.Reportf(call.Pos(), "policy %q: cannot read validator property test %s: %v", name, validatorPath, validatorErr)
+			} else if !dynamicValidator && !regexp.MustCompile(`"`+regexp.QuoteMeta(name)+`"`).Match(validator) {
+				pass.Reportf(call.Pos(),
+					"policy %q is registered but the validator property test (%s) neither enumerates Policies() nor names it",
+					name, validatorPath)
+			}
+		}
+	}
+	return a
+}
+
+// dynamicPoliciesRE detects the property test enumerating the registry
+// dynamically, which covers every policy by construction.
+var dynamicPoliciesRE = regexp.MustCompile(`\bPolicies\(\)`)
+
+// registerCalls finds non-test calls to this package's top-level Register
+// function (method calls, e.g. tasklib's (*Registry).Register, don't count).
+func registerCalls(pass *Pass) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	for _, sf := range pass.Pkg.Files {
+		if sf.Test {
+			continue // test-local stub registrations are not evaluation coverage
+		}
+		ast.Inspect(sf.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "Register" {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() != pass.Pkg.Types {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			calls = append(calls, call)
+			return true
+		})
+	}
+	return calls
+}
+
+// resolvePolicyName statically evaluates the registered policy's Name().
+// Supported shapes (everything the repo uses, kept deliberately narrow so
+// registrations stay analyzable):
+//
+//	Register(heftPolicy{})                  + func (heftPolicy) Name() string { return "heft" }
+//	Register(sitePolicy{name: "faithful"})  + func (p sitePolicy) Name() string { return p.name }
+func resolvePolicyName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	arg := call.Args[0]
+	if u, ok := arg.(*ast.UnaryExpr); ok {
+		arg = u.X
+	}
+	lit, ok := arg.(*ast.CompositeLit)
+	if !ok {
+		pass.Reportf(call.Pos(), "cannot statically resolve the registered policy's name: pass a composite literal of a type with a constant Name()")
+		return "", false
+	}
+	named, ok := pass.TypeOf(lit).(*types.Named)
+	if !ok {
+		pass.Reportf(call.Pos(), "cannot statically resolve the registered policy's type")
+		return "", false
+	}
+	ret := nameMethodReturn(pass, named.Obj().Name())
+	if ret == nil {
+		pass.Reportf(call.Pos(), "cannot find a single-return Name() method on %s", named.Obj().Name())
+		return "", false
+	}
+	switch r := ret.(type) {
+	case *ast.BasicLit:
+		if name, err := strconv.Unquote(r.Value); err == nil {
+			return name, true
+		}
+	case *ast.SelectorExpr:
+		field := r.Sel.Name
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+				if bl, ok := kv.Value.(*ast.BasicLit); ok {
+					if name, err := strconv.Unquote(bl.Value); err == nil {
+						return name, true
+					}
+				}
+			}
+		}
+		pass.Reportf(call.Pos(), "Name() returns the %q field but the literal does not set it to a string constant", field)
+		return "", false
+	}
+	pass.Reportf(call.Pos(), "Name() method body is not statically resolvable (want `return \"lit\"` or `return recv.field`)")
+	return "", false
+}
+
+// nameMethodReturn finds `func (recv T) Name() string { return <expr> }`
+// for the named type and returns the expression.
+func nameMethodReturn(pass *Pass, typeName string) ast.Expr {
+	for _, sf := range pass.Pkg.Files {
+		for _, decl := range sf.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Name" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := fd.Recv.List[0].Type
+			if s, ok := recv.(*ast.StarExpr); ok {
+				recv = s.X
+			}
+			id, ok := recv.(*ast.Ident)
+			if !ok || id.Name != typeName {
+				continue
+			}
+			if fd.Body == nil || len(fd.Body.List) != 1 {
+				return nil
+			}
+			ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return nil
+			}
+			return ret.Results[0]
+		}
+	}
+	return nil
+}
+
+func loadGoldenPolicies(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Policies []string `json:"policies"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(doc.Policies))
+	for _, p := range doc.Policies {
+		out[p] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+// An oracle test file: on the allowlist, exact comparison IS the
+// invariant under test, so nothing here is flagged.
+package floateq
+
+func oracleCompare(got, want float64) bool {
+	return got == want
+}

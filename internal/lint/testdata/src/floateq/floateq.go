@@ -1,0 +1,45 @@
+// Fixture for the floateq analyzer.
+package floateq
+
+// Computed-vs-computed exact comparison is the core violation.
+func bad(a, b float64) bool {
+	return a == b // want "exact float64 comparison"
+}
+
+func badNeq(a, b float64) bool {
+	return a+1 != b*2 // want "exact float64 comparison"
+}
+
+// Switching on a float compares every case exactly.
+func badSwitch(x float64) int {
+	switch x { // want "switch on float64"
+	case 1.5:
+		return 1
+	}
+	return 0
+}
+
+// Constant-operand comparisons are sentinel/assertion checks, not
+// tolerance bugs.
+func goodConst(x float64) bool {
+	return x == 0
+}
+
+// The portable NaN test.
+func goodNaN(x float64) bool {
+	return x != x
+}
+
+// Tie-break prelude of a total order: the same pair is also ordered.
+func goodTieBreak(a, b float64, i, j int) bool {
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// A reviewed suppression waives the finding.
+func suppressed(a, b float64) bool {
+	//vdce:ignore floateq fixture: bit identity is the property under test
+	return a == b
+}

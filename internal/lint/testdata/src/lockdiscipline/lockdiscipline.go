@@ -1,0 +1,59 @@
+// Fixture for the lockdiscipline analyzer.
+package lockdiscipline
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func sinkCounter(*counter) {}
+
+// Locked access participates in the protocol: fine.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Unlocked read of a guarded field.
+func (c *counter) Peek() int {
+	return c.n // want "guarded by c.mu, but this function never locks it"
+}
+
+// Freshly allocated value: no other goroutine can hold it yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// A reviewed suppression waives the finding.
+func peekSuppressed(c *counter) int {
+	//vdce:ignore lockdiscipline fixture: every caller holds c.mu
+	return c.n
+}
+
+// By-value receiver copies the mutex.
+func (c counter) badRecv() {} // want "by-value receiver of a lock-holding type"
+
+// By-value parameter and result copies (the result is vet's blind spot).
+func badSig(c counter) counter { // want "parameter passes a lock-holding type by value" "result returns a lock-holding type by value"
+	return c
+}
+
+// Range-value and assignment copies.
+func badCopies(cs []counter) {
+	for _, c := range cs { // want "range value copies a lock-holding element"
+		sinkCounter(&c)
+	}
+	var x counter
+	y := x // want "assignment copies lock-holding value x"
+	sinkCounter(&y)
+}
+
+// An annotation naming a mutex the struct does not have is a finding.
+type broken struct {
+	data int // guarded by missing // want "no sync.Mutex/RWMutex field named"
+}

@@ -1,0 +1,74 @@
+// Fixture for the maporder analyzer: one violation per order-leaking
+// shape, plus the accepted idioms as true negatives.
+package maporder
+
+import "sort"
+
+func sink(string, int) {}
+
+// Leaked key order: append without a later sort.
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration over map m has order-dependent effects"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Float accumulation does not commute bitwise.
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "iteration over map m has order-dependent effects"
+		sum += v
+	}
+	return sum
+}
+
+// Calls observe iteration order directly.
+func badCall(m map[string]int) {
+	for k, v := range m { // want "iteration over map m has order-dependent effects"
+		sink(k, v)
+	}
+}
+
+// Collect-then-sort is the canonical safe idiom.
+func goodCollectSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Integer accumulation, max folds, and constant set stores all commute.
+func goodFolds(m map[string]float64) (int, float64, map[string]bool) {
+	n := 0
+	best := 0.0
+	seen := map[string]bool{}
+	for k, v := range m {
+		n++
+		if v > best {
+			best = v
+		}
+		seen[k] = true
+	}
+	return n, best, seen
+}
+
+// Keyed stores write each slot exactly once.
+func goodKeyed(m map[string]int) map[string]int {
+	cp := make(map[string]int, len(m))
+	for k, v := range m {
+		cp[k] = v * 2
+	}
+	return cp
+}
+
+// A reviewed suppression waives the finding.
+func suppressed(m map[string]int) {
+	//vdce:ignore maporder fixture: the sink is an order-insensitive test double
+	for k, v := range m {
+		sink(k, v)
+	}
+}

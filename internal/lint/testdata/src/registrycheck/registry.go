@@ -1,0 +1,29 @@
+// Fixture for the registrycheck analyzer. golden.json in this directory
+// blesses only "good"; validator.txt names "good" explicitly and does not
+// enumerate Policies().
+package registrycheck
+
+type policy interface{ Name() string }
+
+type goodPolicy struct{}
+
+func (goodPolicy) Name() string { return "good" }
+
+type namedPolicy struct{ name string }
+
+func (p namedPolicy) Name() string { return p.name }
+
+var registered []policy
+
+// Register mimics the scheduler registry entry point.
+func Register(p policy) { registered = append(registered, p) }
+
+func mk() policy { return goodPolicy{} }
+
+func init() {
+	Register(goodPolicy{})
+	Register(namedPolicy{name: "missing"}) // want "missing from the RANKING golden grid" "neither enumerates"
+	Register(mk())                         // want "cannot statically resolve"
+	//vdce:ignore registrycheck fixture: blessed by an external harness, not this golden
+	Register(namedPolicy{name: "waived"})
+}

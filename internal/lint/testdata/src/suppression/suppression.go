@@ -1,0 +1,21 @@
+// Fixture for suppression hygiene: each malformed directive below is a
+// finding of the "suppression" pseudo-rule (expectations live in the test,
+// not in want comments — a want comment cannot share a directive's line).
+package suppression
+
+func count(m map[string]int) int {
+	n := 0
+	//vdce:ignore maporder
+	for range m {
+		n++
+	}
+	//vdce:ignore bogusrule the rule name does not exist
+	for range m {
+		n++
+	}
+	//vdce:ignore
+	for range m {
+		n++
+	}
+	return n
+}

@@ -76,7 +76,7 @@ func TestIdentity(t *testing.T) {
 			if i == j {
 				want = 1.0
 			}
-			if id.At(i, j) != want {
+			if id.At(i, j) != want { //vdce:ignore floateq identity matrix entries are exact 0/1 constants
 				t.Fatalf("I(%d,%d) = %v", i, j, id.At(i, j))
 			}
 		}

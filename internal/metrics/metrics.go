@@ -132,7 +132,7 @@ func Pairwise(runs [][]float64, tol float64) [][]Tally {
 		for a := 0; a < n; a++ {
 			for b := 0; b < n; b++ {
 				switch {
-				case equalWithin(row[a], row[b], tol):
+				case ApproxEqual(row[a], row[b], tol):
 					out[a][b].Equal++
 				case row[a] < row[b]:
 					out[a][b].Better++
@@ -161,7 +161,7 @@ func BestCounts(runs [][]float64, tol float64) []int {
 			}
 		}
 		for p, v := range row {
-			if equalWithin(v, best, tol) {
+			if ApproxEqual(v, best, tol) {
 				out[p]++
 			}
 		}
@@ -169,10 +169,19 @@ func BestCounts(runs [][]float64, tol float64) []int {
 	return out
 }
 
-// equalWithin reports |a−b| ≤ tol·max(|a|,|b|) (exact equality when tol=0).
-func equalWithin(a, b, tol float64) bool {
+// ApproxEqual reports |a−b| ≤ tol·max(|a|,|b|) (exact equality when
+// tol=0). It is the repo's sanctioned way to compare computed float64
+// quantities — makespans, ranks, EFTs — where exact ==/!= is a tolerance
+// bug waiting to happen (the floateq analyzer flags those sites).
+func ApproxEqual(a, b, tol float64) bool {
+	//vdce:ignore floateq exact fast path: equal infinities would otherwise produce a NaN difference and compare false
 	if a == b {
 		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Distinct infinities are never close: the relative formula below
+		// would accept ±Inf for any tol > 0 (Inf ≤ tol·Inf).
+		return false
 	}
 	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
 }

@@ -132,3 +132,32 @@ func TestSLRNeverBelowOneOnSerialSchedule(t *testing.T) {
 		}
 	}
 }
+
+// runtimeSum adds at float64 precision; writing 0.1 + 0.2 inline would be
+// folded exactly by Go's arbitrary-precision constant arithmetic.
+func runtimeSum(a, b float64) float64 { return a + b }
+
+func TestApproxEqual(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b float64
+		tol  float64
+		want bool
+	}{
+		{"exact zero tol", 1.5, 1.5, 0, true},
+		{"zero vs zero", 0, 0, 0, true},
+		{"tiny relative error accepted", 1, 1 + 1e-12, 1e-9, true},
+		{"large relative error rejected", 1, 1.1, 1e-3, false},
+		{"zero tol rejects last-bit gap", runtimeSum(0.1, 0.2), 0.3, 0, false},
+		{"relative, not absolute", 1e12, 1e12 + 1, 1e-9, true},
+		{"equal infinities", inf, inf, 0, true},
+		{"opposite infinities", inf, -inf, 1e9, false},
+		{"nan never equal", math.NaN(), math.NaN(), 1e9, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

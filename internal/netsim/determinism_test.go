@@ -1,0 +1,40 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The site scheduler's neighbor selection and the monitor's site listing
+// both feed user-visible output; both must be stable across runs even
+// though the underlying topology lives in maps.
+
+func TestSitesDeterministic(t *testing.T) {
+	n := New(DefaultLAN, 1)
+	for _, s := range []string{"zurich", "ankara", "miami", "boston"} {
+		n.Connect("hub", s, PathSpec{Latency: time.Millisecond, Bandwidth: 1e6})
+	}
+	want := []string{"ankara", "boston", "hub", "miami", "zurich"}
+	for i := 0; i < 50; i++ {
+		if got := n.Sites(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Sites() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNearestBreaksLatencyTiesByName(t *testing.T) {
+	n := New(DefaultLAN, 1)
+	// Three sites at identical latency: map order must not decide who the
+	// "nearest" neighbors are.
+	for _, s := range []string{"carol", "alice", "bob"} {
+		n.Connect("hub", s, PathSpec{Latency: 5 * time.Millisecond, Bandwidth: 1e6})
+	}
+	n.Connect("hub", "zed", PathSpec{Latency: time.Millisecond, Bandwidth: 1e6})
+	want := []string{"zed", "alice", "bob"}
+	for i := 0; i < 50; i++ {
+		if got := n.Nearest("hub", 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Nearest() = %v, want %v", got, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -27,9 +28,9 @@ type PathSpec struct {
 // measurement (Group Manager echo packets) from inter-site transfers.
 type Network struct {
 	mu    sync.RWMutex
-	paths map[string]map[string]PathSpec
-	lan   PathSpec
-	scale float64 // wall-clock scale for injected delays (1.0 = real time)
+	paths map[string]map[string]PathSpec // guarded by mu
+	lan   PathSpec                       // guarded by mu
+	scale float64                        // wall-clock scale for injected delays (1.0 = real time); guarded by mu
 }
 
 // DefaultLAN approximates the paper's campus ATM LAN: OC-3-class bandwidth
@@ -137,6 +138,7 @@ func (n *Network) Sites() []string {
 	for s := range seen {
 		out = append(out, s)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -156,17 +158,12 @@ func (n *Network) Nearest(from string, k int) []string {
 			cands = append(cands, cand{b, p.Latency})
 		}
 	}
-	// Insertion sort: site lists are small (the paper's k is small).
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0; j-- {
-			ci, cj := cands[j], cands[j-1]
-			if ci.lat < cj.lat || (ci.lat == cj.lat && ci.site < cj.site) {
-				cands[j], cands[j-1] = cands[j-1], cands[j]
-			} else {
-				break
-			}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat < cands[j].lat
 		}
-	}
+		return cands[i].site < cands[j].site
+	})
 	if k > len(cands) {
 		k = len(cands)
 	}

@@ -108,7 +108,7 @@ func TestCacheConcurrent(t *testing.T) {
 	// Sanity: surviving entries are readable and consistent.
 	for i := 0; i < 7; i++ {
 		k := CacheKey{Kind: "f", Cost: float64(i), Resource: "h0"}
-		if in, ok := c.Lookup(k); ok && in.BaseTime != k.Cost {
+		if in, ok := c.Lookup(k); ok && in.BaseTime != k.Cost { //vdce:ignore floateq cache must store the keyed cost verbatim; any drift is corruption
 			t.Fatalf("entry %v corrupted: %+v", k, in)
 		}
 	}

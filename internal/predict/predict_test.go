@@ -26,7 +26,7 @@ func TestSecondsDefaults(t *testing.T) {
 func TestSecondsInputScale(t *testing.T) {
 	unit := Seconds(Inputs{BaseTime: 2, Weight: 1})
 	scaled := Seconds(Inputs{BaseTime: 2, Weight: 1, InputSize: 4})
-	if scaled != 4*unit {
+	if scaled != 4*unit { //vdce:ignore floateq scaling by a power-of-two input ratio is exact in binary floating point
 		t.Fatalf("unit=%v scaled=%v", unit, scaled)
 	}
 }

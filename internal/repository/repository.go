@@ -551,8 +551,9 @@ func (r *Repository) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
+	//vdce:ignore maporder SetLocation writes each (function, host) key exactly once; call order commutes
 	for f, m := range w.Constraints {
-		for h, p := range m {
+		for h, p := range m { //vdce:ignore maporder same: one keyed write per (function, host) pair
 			fresh.Constraints.SetLocation(f, h, p)
 		}
 	}

@@ -226,8 +226,13 @@ func newExecEnv(g *afg.Graph, table *scheduler.AllocationTable, opts Options) (*
 }
 
 func (e *execEnv) close() {
-	for _, p := range e.proxies {
-		p.Close()
+	ids := make([]afg.TaskID, 0, len(e.proxies))
+	for id := range e.proxies {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		e.proxies[id].Close()
 	}
 }
 

@@ -1,3 +1,4 @@
+//vdce:ignore-file floateq concurrency equivalence file: concurrent batch results must match the serial walk bit for bit
 package scheduler
 
 import (

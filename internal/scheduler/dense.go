@@ -378,6 +378,7 @@ func gatherCostMatrix(ix *afg.Index, req *Request) (*CostMatrix, error) {
 // empty Host marks "no offer"); ids the index does not know are dropped.
 func denseChoices(ix *afg.Index, m map[afg.TaskID]Choice) []Choice {
 	out := make([]Choice, ix.Len())
+	//vdce:ignore maporder ix.Of is injective: every id writes its own dense slot, so visit order cannot be observed
 	for id, c := range m {
 		if t := ix.Of(id); t >= 0 {
 			out[t] = c
@@ -408,6 +409,7 @@ func denseFromCostMap(ix *afg.Index, m map[afg.TaskID][]Choice) (hosts []string,
 	for i := range pred {
 		pred[i] = math.NaN()
 	}
+	//vdce:ignore maporder ix.Of is injective and host columns are fixed: each (task, host) cell is written once
 	for id, cs := range m {
 		t := ix.Of(id)
 		if t < 0 {

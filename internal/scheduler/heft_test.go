@@ -1,3 +1,4 @@
+//vdce:ignore-file floateq policy equivalence file: HEFT variants are asserted to produce bit-identical predictions
 package scheduler
 
 import (

@@ -42,7 +42,7 @@ const ledgerShards = 32
 
 type ledgerShard struct {
 	mu   sync.Mutex
-	busy map[string]float64 // host -> reserved busy seconds
+	busy map[string]float64 // host -> reserved busy seconds; guarded by mu
 	// Pad the 16 bytes of state to a full 64-byte cache line so
 	// neighbouring shards' locks never false-share.
 	_ [48]byte
@@ -102,12 +102,18 @@ func (l *LoadLedger) Busy(host string) float64 {
 
 // ReleaseTable releases every assignment of a completed (or abandoned)
 // application: each occupied host gives back the predicted duration the
-// availability-aware walk reserved on it.
+// availability-aware walk reserved on it. Releases run in assignment
+// order — several tasks can share a host, and the busy value is a float
+// sum, so the subtraction order must be deterministic.
 func (l *LoadLedger) ReleaseTable(t *AllocationTable) {
 	if t == nil {
 		return
 	}
-	for _, a := range t.Entries {
+	for _, id := range t.Order() {
+		a, ok := t.Entries[id]
+		if !ok {
+			continue
+		}
 		for _, h := range effectiveHosts(a) {
 			l.Release(h, a.Predicted)
 		}

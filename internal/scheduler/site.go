@@ -273,6 +273,7 @@ func (s *SiteScheduler) scheduleAvailabilityAware(ix *afg.Index, g *afg.Graph, r
 		if s.Ledger == nil {
 			return
 		}
+		//vdce:ignore maporder one Release per distinct host key: updates touch disjoint ledger entries, so order commutes
 		for h, sec := range own {
 			s.Ledger.Release(h, sec)
 		}

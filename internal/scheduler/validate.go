@@ -83,7 +83,15 @@ func ValidateSchedule(g *afg.Graph, table *AllocationTable, model TimeModel, net
 // assigned once, no assignments for unknown tasks, and each assignment
 // naming a primary host that belongs to its host set.
 func checkTableShape(g *afg.Graph, table *AllocationTable, ids []afg.TaskID) error {
-	for id, a := range table.Entries {
+	// Sorted entry walk: a malformed table must produce the same error
+	// every run, not whichever violation map order reaches first.
+	entryIDs := make([]afg.TaskID, 0, len(table.Entries))
+	for id := range table.Entries {
+		entryIDs = append(entryIDs, id)
+	}
+	sort.Slice(entryIDs, func(i, j int) bool { return entryIDs[i] < entryIDs[j] })
+	for _, id := range entryIDs {
+		a := table.Entries[id]
 		if g.Task(id) == nil {
 			return fmt.Errorf("scheduler: validate: assignment for unknown task %q", id)
 		}
@@ -237,7 +245,13 @@ func checkHostExclusive(audit *ScheduleAudit) error {
 			byHost[h] = append(byHost[h], interval{s.Task, s.Start, s.End})
 		}
 	}
-	for host, iv := range byHost {
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		iv := byHost[host]
 		sort.Slice(iv, func(i, j int) bool {
 			if iv[i].start != iv[j].start {
 				return iv[i].start < iv[j].start

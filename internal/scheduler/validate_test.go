@@ -1,3 +1,4 @@
+//vdce:ignore-file floateq validator equivalence file: the independent audit must reproduce simulator makespans bit for bit
 package scheduler
 
 import (

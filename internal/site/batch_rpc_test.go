@@ -217,6 +217,7 @@ func TestExplicitFaithfulIgnoresAvailabilityAwareDefault(t *testing.T) {
 	for _, id := range tables[0].Order() {
 		a, _ := tables[0].Get(id)
 		b, ok := tables[1].Get(id)
+		//vdce:ignore floateq explicit-vs-implicit policy equivalence: tables must match bit for bit
 		if !ok || a.Host != b.Host || a.Predicted != b.Predicted {
 			t.Fatalf("explicit faithful diverges on avail-aware site at %q: %+v vs %+v", id, a, b)
 		}

@@ -9,6 +9,7 @@ package site
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/afg"
@@ -365,7 +366,21 @@ func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []sche
 	if err != nil {
 		return res, table, err
 	}
-	for id, tr := range res.TaskResults {
+	m.recordExecutions(g, res)
+	return res, table, nil
+}
+
+// recordExecutions feeds completed task timings into the task-performance
+// database, in sorted task order so the recorded sample history is
+// reproducible run to run.
+func (m *Manager) recordExecutions(g *afg.Graph, res *runtime.Result) {
+	ids := make([]afg.TaskID, 0, len(res.TaskResults))
+	for id := range res.TaskResults {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		tr := res.TaskResults[id]
 		task := g.Task(id)
 		if task == nil || tr.Err != nil {
 			continue
@@ -374,7 +389,6 @@ func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []sche
 			Host: tr.Host, Elapsed: tr.Elapsed, At: time.Now(),
 		})
 	}
-	return res, table, nil
 }
 
 // ExecuteDistributed schedules an application across this site and the
@@ -425,15 +439,7 @@ func (m *Manager) ExecuteDistributedPolicy(ctx context.Context, g *afg.Graph, pe
 	if err != nil {
 		return res, table, err
 	}
-	for id, tr := range res.TaskResults {
-		task := g.Task(id)
-		if task == nil || tr.Err != nil {
-			continue
-		}
-		m.Repo.Tasks.RecordExecution(task.Function, repository.ExecutionSample{
-			Host: tr.Host, Elapsed: tr.Elapsed, At: time.Now(),
-		})
-	}
+	m.recordExecutions(g, res)
 	return res, table, nil
 }
 

@@ -119,7 +119,7 @@ func (s Spec) Scale(params map[string]string) float64 {
 // Registry is a concurrency-safe catalogue of task specs.
 type Registry struct {
 	mu    sync.RWMutex
-	specs map[string]Spec
+	specs map[string]Spec // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -24,6 +24,7 @@ func Gantt(res *runtime.Result, width int) string {
 	// Collect spans relative to the earliest start.
 	var t0 time.Time
 	first := true
+	//vdce:ignore maporder earliest-start fold: the minimum of a set does not depend on visit order
 	for _, tr := range res.TaskResults {
 		if tr.Err != nil || tr.Started.IsZero() {
 			continue
@@ -38,6 +39,7 @@ func Gantt(res *runtime.Result, width int) string {
 	}
 	byHost := map[string][]span{}
 	var total time.Duration
+	//vdce:ignore maporder per-host span lists are sorted by start before rendering; total is a max fold
 	for _, tr := range res.TaskResults {
 		if tr.Err != nil || tr.Started.IsZero() {
 			continue
@@ -72,7 +74,12 @@ func Gantt(res *runtime.Result, width int) string {
 	}
 	for _, h := range hosts {
 		spans := byHost[h]
-		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].task < spans[j].task
+		})
 		row := []byte(strings.Repeat(".", width))
 		for i, sp := range spans {
 			lo, hi := scale(sp.start), scale(sp.end)
