@@ -1,8 +1,9 @@
 // Command vdce-vet runs the repo's domain-specific static analyzers: the
 // mechanical enforcement of the determinism, float-exactness, lock
 // discipline, and evaluation-coverage invariants everything else in this
-// reproduction leans on. See internal/lint for the rules and the
-// //vdce:ignore suppression convention.
+// reproduction leans on — plus the interprocedural tier (detflow,
+// lockorder, unitflow) built on the call-graph engine. See internal/lint
+// for the rules and the //vdce:ignore suppression convention.
 //
 // Usage:
 //
@@ -23,10 +24,59 @@ import (
 	"repro/internal/lint"
 )
 
-func main() {
+// jsonFinding is the machine-readable wire form of one finding: flat
+// position fields (no nested token.Position internals leak into the
+// contract) plus a ready-to-paste suppression template.
+type jsonFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Suppress is the directive that would waive this finding, with the
+	// mandatory reason left as a placeholder.
+	Suppress string `json:"suppress"`
+}
+
+func toJSON(findings []lint.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Rule:     f.Rule,
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Msg,
+			Suppress: fmt.Sprintf("//vdce:ignore %s <reason>", f.Rule),
+		})
+	}
+	return out
+}
+
+func emitJSON(v any) int {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// githubEscape applies the workflow-command escaping rules to a message.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+func run() int {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	rules := flag.String("rules", "", "comma-separated analyzer subset (default: all)")
-	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
+	github := flag.Bool("github", false, "emit findings as GitHub ::error annotations")
+	inventory := flag.Bool("inventory", false, "list every //vdce:ignore directive instead of running analyzers")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdce-vet [flags] [packages]\n")
 		flag.PrintDefaults()
@@ -38,7 +88,7 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *rules != "" {
 		want := map[string]bool{}
@@ -59,7 +109,7 @@ func main() {
 			}
 			sort.Strings(unknown)
 			fmt.Fprintf(os.Stderr, "vdce-vet: unknown rule(s): %s\n", strings.Join(unknown, ", "))
-			os.Exit(2)
+			return 2
 		}
 		analyzers = picked
 	}
@@ -71,23 +121,48 @@ func main() {
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	findings := lint.Run(pkgs, analyzers)
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
-			os.Exit(2)
+
+	if *inventory {
+		dirs := lint.Inventory(pkgs)
+		if *asJSON {
+			return emitJSON(dirs)
 		}
-	} else {
+		for _, d := range dirs {
+			scope := ""
+			if d.FileWide {
+				scope = " (file-wide)"
+			}
+			fmt.Printf("%s:%d: %s%s — %s\n", d.File, d.Line, strings.Join(d.Rules, ","), scope, d.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "vdce-vet: %d suppression(s) in %d package(s)\n", len(dirs), len(pkgs))
+		return 0
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	switch {
+	case *asJSON:
+		if code := emitJSON(toJSON(findings)); code != 0 {
+			return code
+		}
+	case *github:
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=vdce-vet %s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, githubEscape(f.Msg))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "vdce-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run())
 }

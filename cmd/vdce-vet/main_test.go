@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestToJSONFields(t *testing.T) {
+	in := []lint.Finding{{
+		Rule: "detflow",
+		Pos:  token.Position{Filename: "a/b.go", Line: 12, Column: 7},
+		Msg:  "value derived from map iteration order reaches a schedule output",
+	}}
+	got := toJSON(in)
+	want := []jsonFinding{{
+		Rule:     "detflow",
+		File:     "a/b.go",
+		Line:     12,
+		Col:      7,
+		Message:  "value derived from map iteration order reaches a schedule output",
+		Suppress: "//vdce:ignore detflow <reason>",
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("toJSON = %+v, want %+v", got, want)
+	}
+	// The wire field names are the contract consumed by CI tooling.
+	raw, err := json.Marshal(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"rule", "file", "line", "col", "message", "suppress"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("wire form missing %q key: %s", k, raw)
+		}
+	}
+}
+
+func TestGithubEscape(t *testing.T) {
+	if got := githubEscape("50% done\r\nnext"); got != "50%25 done%0D%0Anext" {
+		t.Errorf("githubEscape = %q", got)
+	}
+}

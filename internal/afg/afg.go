@@ -332,6 +332,7 @@ func (g *Graph) CriticalPathLength() (float64, error) {
 		return 0, err
 	}
 	var max float64
+	//vdce:ignore detflow max over map values is order-independent: float comparison, unlike float addition, commutes
 	for _, l := range levels {
 		if l > max {
 			max = l

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -72,13 +73,29 @@ func parseWants(t *testing.T, dir string) map[wantKey][]*want {
 	return wants
 }
 
-func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) []Finding {
+// fixtureLoader is shared across every fixture test in the process: the
+// loader caches `go list` metadata and type-checked imports by import path,
+// so the standard-library resolution work happens once instead of once per
+// analyzer fixture.
+var (
+	fixtureLoaderMu sync.Mutex
+	fixtureLoader   = NewLoader("")
+)
+
+func loadFixture(t *testing.T, dir string) *Package {
 	t.Helper()
-	pkg, err := NewLoader("").LoadDir(dir)
+	fixtureLoaderMu.Lock()
+	defer fixtureLoaderMu.Unlock()
+	pkg, err := fixtureLoader.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", dir, err)
 	}
-	return Run([]*Package{pkg}, analyzers)
+	return pkg
+}
+
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	return Run([]*Package{loadFixture(t, dir)}, analyzers)
 }
 
 // checkFixture runs the analyzers over dir and requires an exact bijection
@@ -131,6 +148,25 @@ func TestLockDisciplineFixture(t *testing.T) {
 func TestRegistryCheckFixture(t *testing.T) {
 	// Paths resolve against the fixture package's own directory.
 	checkFixture(t, filepath.Join("testdata", "src", "registrycheck"), RegistryCheck("golden.json", "validator.txt"))
+}
+
+func TestDetFlowFixture(t *testing.T) {
+	checkFixture(t, filepath.Join("testdata", "src", "detflow"), DetFlow())
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, filepath.Join("testdata", "src", "lockorder"), LockOrder())
+}
+
+func TestUnitFlowFixture(t *testing.T) {
+	checkFixture(t, filepath.Join("testdata", "src", "unitflow"), UnitFlow())
+}
+
+// TestSuppressionSpanFixture pins the span rule: a directive above a
+// multi-line node waives findings on every line of the node, and an
+// identical unwaived expression still reports on all of its lines.
+func TestSuppressionSpanFixture(t *testing.T) {
+	checkFixture(t, filepath.Join("testdata", "src", "suppressspan"), FloatEq())
 }
 
 // TestSuppressionHygiene checks that malformed directives are findings in

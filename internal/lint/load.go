@@ -68,6 +68,7 @@ type Loader struct {
 	metas    map[string]*listMeta
 	checked  map[string]*types.Package
 	checking map[string]bool
+	pkgs     map[string]*Package // fully-checked targets (with Info), by import path
 }
 
 // NewLoader returns a loader running `go list` in dir ("" = process cwd).
@@ -78,6 +79,7 @@ func NewLoader(dir string) *Loader {
 		metas:    map[string]*listMeta{},
 		checked:  map[string]*types.Package{},
 		checking: map[string]bool{},
+		pkgs:     map[string]*Package{},
 	}
 }
 
@@ -115,15 +117,51 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
-	var out []*Package
+	// Check targets in dependency order — regular and test imports alike —
+	// and publish each result into the import cache immediately. A target
+	// that imports another target must resolve it to the IDENTICAL
+	// *types.Package: a second type-check of the same path produces a
+	// distinct object, and with it every cross-package type identity (and
+	// CHA interface resolution over the implementer universe) silently
+	// fails.
+	isTarget := map[string]*listMeta{}
 	for _, m := range targets {
+		isTarget[m.ImportPath] = m
+	}
+	var order []*listMeta
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if seen[path] {
+			return
+		}
+		seen[path] = true
+		m := l.metas[path]
+		if m == nil || m.Standard {
+			return
+		}
+		for _, imp := range m.Imports {
+			visit(imp)
+		}
+		if t := isTarget[path]; t != nil {
+			for _, imp := range t.TestImports {
+				visit(imp)
+			}
+			order = append(order, t)
+		}
+	}
+	for _, m := range targets {
+		visit(m.ImportPath)
+	}
+	var out []*Package
+	for _, m := range order {
 		pkg, err := l.checkTarget(m)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, pkg)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return out, nil
 }
 
@@ -233,6 +271,9 @@ func (l *Loader) goList(args ...string) ([]*listMeta, error) {
 // checkTarget type-checks a matched package including its in-package test
 // files, with full type information recorded for the analyzers.
 func (l *Loader) checkTarget(m *listMeta) (*Package, error) {
+	if pkg, ok := l.pkgs[m.ImportPath]; ok {
+		return pkg, nil
+	}
 	var files []SourceFile
 	for _, name := range m.GoFiles {
 		f, err := l.parse(filepath.Join(m.Dir, name))
@@ -257,7 +298,7 @@ func (l *Loader) checkTarget(m *listMeta) (*Package, error) {
 	if m.Module != nil && m.Module.Dir != "" {
 		root = m.Module.Dir
 	}
-	return &Package{
+	pkg := &Package{
 		ImportPath: m.ImportPath,
 		Name:       tpkg.Name(),
 		Dir:        m.Dir,
@@ -266,7 +307,15 @@ func (l *Loader) checkTarget(m *listMeta) (*Package, error) {
 		Fset:       l.Fset,
 		Types:      tpkg,
 		Info:       info,
-	}, nil
+	}
+	l.pkgs[m.ImportPath] = pkg
+	// Publish into the import cache so later packages importing this one
+	// resolve to the identical *types.Package. (If a dependency-only copy
+	// already slipped in — possible only when an earlier Load on this
+	// loader pulled the path in as a plain dep — the full copy replaces it
+	// for future importers.)
+	l.checked[m.ImportPath] = tpkg
+	return pkg, nil
 }
 
 // importPkg type-checks a dependency (no test files, no recorded info),

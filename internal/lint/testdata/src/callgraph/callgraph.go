@@ -1,0 +1,42 @@
+// Fixture for the call-graph engine: every call shape ResolveCall
+// distinguishes — static function, concrete method, interface dispatch
+// (CHA over in-load implementers), dynamic func values, conversions, and
+// immediately-invoked literals.
+package callgraph
+
+// Runner has two in-load implementers, one by value and one by pointer.
+type Runner interface{ Run() int }
+
+type Fast struct{}
+
+func (Fast) Run() int { return 1 }
+
+type Slow struct{}
+
+func (*Slow) Run() int { return 2 }
+
+// nobody has no implementer: an interface call on it has an empty callee
+// set (and is not Unresolved — the emptiness is the resolution).
+type nobody interface{ Nothing() }
+
+func helper() int { return 0 }
+
+type box struct{ f func() int }
+
+// drive exercises each shape in source order; the engine test pins the
+// resulting call-site list.
+func drive(r Runner, fn func() int, b box) int {
+	n := helper() // static
+	n += r.Run()  // interface: {Fast.Run, (*Slow).Run}
+	n += fn()     // dynamic func value: Unresolved
+	n += b.f()    // func-typed field: Unresolved
+	n += narrow(3.5)
+	f := Fast{}
+	n += f.Run()                          // concrete method
+	n += func() int { return helper() }() // IIFE: inner call attributed to drive
+	return n
+}
+
+func narrow(x float64) int { return int(x) } // conversion: not a call site
+
+func none(n nobody) { n.Nothing() }

@@ -1,0 +1,113 @@
+// Fixture for the detflow analyzer: nondeterminism sources reaching
+// schedule outputs — directly, through helpers, and through map iteration —
+// plus the sanctioned shapes (seeded rand, sort-before-store, wall-clock
+// measurement into non-output types) as true negatives.
+package detflow
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+	"unsafe"
+)
+
+// AllocationTable mirrors the scheduler's output type by name: stores into
+// it are schedule outputs.
+type AllocationTable struct {
+	Start float64
+	Order []string
+}
+
+// Assignment is likewise a schedule-output type.
+type Assignment struct {
+	Predicted float64
+}
+
+// DebugReply is an RPC reply (the *Reply suffix marks it an output).
+type DebugReply struct {
+	Addr     string
+	Makespan float64
+}
+
+// record is NOT an output type: measurements may land here freely.
+type record struct {
+	At float64
+}
+
+// Direct wall-clock leak into a schedule output.
+func badClock(t *AllocationTable) {
+	t.Start = float64(time.Now().UnixNano()) // want "value derived from wall clock"
+}
+
+// nowSeconds launders the clock through a helper; the summary carries the
+// taint back to the caller.
+func nowSeconds() float64 {
+	return time.Since(time.Time{}).Seconds()
+}
+
+func badHelper(a *Assignment) {
+	a.Predicted = nowSeconds() // want "value derived from wall clock"
+}
+
+// Global math/rand is unseeded process-wide state.
+func badRand(r *DebugReply) {
+	r.Makespan = rand.Float64() // want "value derived from wall clock, global rand"
+}
+
+// A seed-threaded *rand.Rand is deterministic: no finding here, and the
+// obligation ("seed must itself be deterministic") moves to the callers.
+func goodSeeded(seed int64, t *AllocationTable) {
+	rng := rand.New(rand.NewSource(seed))
+	t.Start = rng.Float64()
+}
+
+// Map iteration order leaking into the schedule's task order.
+func badMapOrder(m map[string]float64, t *AllocationTable) {
+	for k := range m {
+		t.Order = append(t.Order, k) // want "value derived from map iteration order"
+	}
+}
+
+// Sorting kills the order taint.
+func goodSorted(m map[string]float64, t *AllocationTable) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t.Order = keys
+}
+
+// Pointer identity rendered into an RPC reply.
+func badPointer(r *DebugReply, x *Assignment) {
+	r.Addr = fmt.Sprintf("%p", x) // want "pointer identity"
+}
+
+// Pointer identity through a uintptr conversion.
+func badUintptr(t *AllocationTable, x *Assignment) {
+	t.Start = float64(uintptr(unsafe.Pointer(x))) // want "pointer identity"
+}
+
+// Wall-clock measurement into a non-output type is the legitimate use.
+func goodMeasurement(rec *record) {
+	rec.At = float64(time.Now().UnixNano())
+}
+
+// keyedFlatten writes each key to a slot of its own: order-independent by
+// construction but unprovable statically, so the producer certifies the
+// loop once. The waiver strips the taint from the summary itself.
+func keyedFlatten(m map[int]float64) []float64 {
+	out := make([]float64, 8)
+	//vdce:ignore detflow injective keyed writes: each key owns one slot, so visit order is unobservable
+	for k, v := range m {
+		out[k%8] = v
+	}
+	return out
+}
+
+// goodCertified consumes the certified producer: no finding anywhere in the
+// downstream cone, however far from the waiver the sink store sits.
+func goodCertified(m map[int]float64, t *AllocationTable) {
+	t.Start = keyedFlatten(m)[0]
+}

@@ -1,0 +1,13 @@
+// Fixture for suppression spans: a //vdce:ignore above a multi-line
+// expression covers the node's whole source span, not just its first line.
+package suppressspan
+
+func approx(a, b, c, d float64) bool {
+	//vdce:ignore floateq span demo: the whole disjunction is waived
+	ok := a == b ||
+		c == d
+	_ = ok
+	ok2 := a == b || // want "exact float64 comparison"
+		c == d // want "exact float64 comparison"
+	return ok2
+}

@@ -1,0 +1,84 @@
+// Fixture for the unitflow analyzer: units seeded by directive and by
+// prose, the ×/÷ algebra, inference through assignments and calls, and one
+// finding per known-known mismatch class.
+package unitflow
+
+import "math"
+
+type Path struct {
+	Bandwidth float64 // bytes per second
+}
+
+type Cost struct {
+	//vdce:unit seconds
+	Exec float64
+	//vdce:unit bytes
+	Vol float64
+}
+
+// transfer is dimensionally sound: bytes ÷ bytes/s → seconds.
+//
+//vdce:unit bytes=bytes result=seconds
+func transfer(p *Path, bytes float64) float64 {
+	return bytes / p.Bandwidth
+}
+
+// volume recovers bytes from a rate × duration product.
+//
+//vdce:unit result=bytes
+func volume(p *Path, c *Cost) float64 {
+	return p.Bandwidth * c.Exec
+}
+
+//vdce:unit d=seconds result=seconds
+func wait(d float64) float64 { return d }
+
+// badAdd mixes dimensions across +.
+func badAdd(c *Cost) float64 {
+	return c.Exec + c.Vol // want "unit mismatch: seconds \+ bytes"
+}
+
+// badAssign stores a ratio into a seconds field.
+func badAssign(c *Cost) {
+	c.Exec = c.Vol / (c.Vol + 1) // want "assigning ratio value to seconds"
+}
+
+// badArg passes bytes where the callee declares seconds.
+func badArg(c *Cost) float64 {
+	return wait(c.Vol) // want "passing bytes value as seconds parameter d of wait"
+}
+
+// badMax compares across dimensions.
+func badMax(c *Cost) float64 {
+	return math.Max(c.Exec, c.Vol) // want "unit mismatch: math.Max\(seconds, bytes\)"
+}
+
+// badReturn violates its declared result unit.
+//
+//vdce:unit ratio
+func badReturn(c *Cost) float64 {
+	return c.Exec // want "returning seconds value from a function declared to return ratio"
+}
+
+// badInferred: rate's unit is derived (bytes ÷ seconds → bytes/s), then
+// misused downstream.
+func badInferred(c *Cost) {
+	rate := c.Vol / c.Exec
+	c.Exec = rate // want "assigning bytes/s value to seconds"
+}
+
+type Wrong struct {
+	//vdce:unit parsecs // want "wants exactly one of"
+	X float64
+}
+
+// Wire's prose spells the rate out: "bytes/second" must seed bytes/s, not
+// bytes (the declared result unit below would mismatch otherwise).
+type Wire struct {
+	Rate float64 // bytes/second
+}
+
+//vdce:unit result=bytes
+func carried(w *Wire, c *Cost) float64 {
+	return w.Rate * c.Exec
+}

@@ -1,0 +1,655 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// UnitFlow returns the unitflow analyzer.
+//
+// The scheduler's cost model is bare float64 end to end — predicted
+// execution seconds, transfer bytes, bandwidth in bytes per second, CCR
+// ratios — and nothing in the type system stops a bandwidth from being
+// added to a deadline. unitflow attaches physical units to those floats and
+// checks the arithmetic dimensionally, interprocedurally:
+//
+// Units are seeded two ways. Explicitly, with the directive vocabulary
+//
+//	//vdce:unit seconds|bytes|bytes/s|flops|flops/s|ratio
+//
+// on a struct field, variable, or (in a function's doc comment, with
+// `name=unit` and `result=unit` tokens) on parameters and results.
+// Implicitly, from declaration comments that already state the unit in
+// prose ("bytes per second", "reserved busy seconds") on plain numeric
+// fields. Seeds then propagate through assignments, call arguments,
+// results, and the unit algebra:
+//
+//	bytes ÷ bytes/s → seconds     flops ÷ flops/s → seconds
+//	bytes ÷ seconds → bytes/s     flops ÷ seconds → flops/s
+//	U ÷ U → ratio                 ratio × U → U
+//	seconds × bytes/s → bytes     seconds × flops/s → flops
+//
+// Constants are dimensionless scalars: they multiply anything and adopt
+// the other side's unit under addition. A finding is reported only when
+// two KNOWN units meet incompatibly — seconds + bytes, a bytes/s value
+// assigned to a seconds field, a ratio passed as a seconds parameter —
+// so unannotated code stays silent rather than noisy.
+func UnitFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "unitflow",
+		Doc:  "float64 cost arithmetic must be dimensionally consistent with declared //vdce:unit units",
+	}
+	a.RunProgram = func(pass *ProgramPass) {
+		uf := &unitflow{
+			pass:    pass,
+			env:     map[types.Object]unit{},
+			results: map[*types.Func]unit{},
+			emitted: map[string]bool{},
+		}
+		uf.seed()
+		for round := 0; round < 32; round++ {
+			uf.changed = false
+			for _, fi := range pass.Prog.Funcs() {
+				uf.infer(fi)
+			}
+			if !uf.changed {
+				break
+			}
+		}
+		for _, fi := range pass.Prog.Funcs() {
+			uf.check(fi)
+		}
+	}
+	return a
+}
+
+type unit string
+
+const (
+	unitUnknown unit = ""
+	unitScalar  unit = "scalar" // constants: dimensionless, compatible with everything
+)
+
+var knownUnits = map[unit]bool{
+	"seconds": true, "bytes": true, "bytes/s": true,
+	"flops": true, "flops/s": true, "ratio": true,
+}
+
+// dimensioned reports whether u participates in mismatch checks.
+func dimensioned(u unit) bool { return u != unitUnknown && u != unitScalar }
+
+// mulUnit is the × algebra; unitUnknown when the product has no name.
+func mulUnit(a, b unit) unit {
+	if a == unitScalar || a == "ratio" {
+		return b
+	}
+	if b == unitScalar || b == "ratio" {
+		return a
+	}
+	switch {
+	case a == "seconds" && b == "bytes/s", a == "bytes/s" && b == "seconds":
+		return "bytes"
+	case a == "seconds" && b == "flops/s", a == "flops/s" && b == "seconds":
+		return "flops"
+	}
+	return unitUnknown
+}
+
+// divUnit is the ÷ algebra.
+func divUnit(a, b unit) unit {
+	if b == unitScalar || b == "ratio" {
+		return a
+	}
+	if a == unitUnknown || b == unitUnknown || a == unitScalar {
+		return unitUnknown
+	}
+	if a == b {
+		return "ratio"
+	}
+	switch {
+	case a == "bytes" && b == "bytes/s":
+		return "seconds"
+	case a == "bytes" && b == "seconds":
+		return "bytes/s"
+	case a == "flops" && b == "flops/s":
+		return "seconds"
+	case a == "flops" && b == "seconds":
+		return "flops/s"
+	}
+	return unitUnknown
+}
+
+// addUnit is the +/- algebra; mismatch is true when two distinct
+// dimensioned units meet.
+func addUnit(a, b unit) (u unit, mismatch bool) {
+	switch {
+	case a == b:
+		return a, false
+	case a == unitUnknown || b == unitUnknown:
+		return unitUnknown, false
+	case a == unitScalar:
+		return b, false
+	case b == unitScalar:
+		return a, false
+	}
+	return unitUnknown, true
+}
+
+const unitDirective = "//vdce:unit"
+
+// nlUnitPatterns recognize units already written in prose on numeric
+// declarations. Rates are matched before their numerators so "bytes per
+// second" seeds bytes/s, not bytes.
+var nlUnitPatterns = []struct {
+	re *regexp.Regexp
+	u  unit
+}{
+	{regexp.MustCompile(`(?i)\bbytes\s*(?:per\s+second|/\s*s(?:ec(?:ond)?)?\b)`), "bytes/s"},
+	{regexp.MustCompile(`(?i)\bflops\s*(?:per\s+second|/\s*s(?:ec(?:ond)?)?\b)`), "flops/s"},
+	{regexp.MustCompile(`(?i)\bseconds\b`), "seconds"},
+	{regexp.MustCompile(`(?i)\bbytes\b`), "bytes"},
+	{regexp.MustCompile(`(?i)\bflops\b`), "flops"},
+}
+
+type unitflow struct {
+	pass    *ProgramPass
+	env     map[types.Object]unit // fields, vars, params → element unit
+	results map[*types.Func]unit  // first (or only) result unit
+	changed bool
+	emitted map[string]bool
+}
+
+func (uf *unitflow) setEnv(obj types.Object, u unit) {
+	if obj == nil || !dimensioned(u) {
+		return
+	}
+	if uf.env[obj] == unitUnknown {
+		uf.env[obj] = u
+		uf.changed = true
+	}
+}
+
+func (uf *unitflow) setResult(f *types.Func, u unit) {
+	if f == nil || !dimensioned(u) {
+		return
+	}
+	if uf.results[f] == unitUnknown {
+		uf.results[f] = u
+		uf.changed = true
+	}
+}
+
+// numericCarrier reports whether t can carry a unit: an unnamed basic
+// numeric type, possibly behind pointers/slices/arrays/maps (a container's
+// unit is its element's unit). Named types — time.Duration in particular —
+// are excluded: their semantics are theirs, not a bare number's.
+func numericCarrier(t types.Type) bool {
+	switch v := t.(type) {
+	case *types.Basic:
+		return v.Info()&types.IsNumeric != 0
+	case *types.Pointer:
+		return numericCarrier(v.Elem())
+	case *types.Slice:
+		return numericCarrier(v.Elem())
+	case *types.Array:
+		return numericCarrier(v.Elem())
+	case *types.Map:
+		return numericCarrier(v.Elem())
+	}
+	return false
+}
+
+// unitFromComments extracts a unit from a declaration's doc/trailing
+// comments: an explicit //vdce:unit directive wins, then prose patterns.
+func unitFromComments(groups ...*ast.CommentGroup) (unit, *ast.Comment) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if rest, ok := strings.CutPrefix(c.Text, unitDirective); ok {
+				fields := strings.Fields(rest)
+				if len(fields) == 1 && !strings.Contains(fields[0], "=") {
+					return unit(fields[0]), c
+				}
+				return unitUnknown, c // malformed or func-form in the wrong place
+			}
+		}
+	}
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		text := g.Text()
+		for _, p := range nlUnitPatterns {
+			if p.re.MatchString(text) {
+				return p.u, nil
+			}
+		}
+	}
+	return unitUnknown, nil
+}
+
+// seed walks every non-test file and installs declared units.
+func (uf *unitflow) seed() {
+	for _, pkg := range uf.pass.Prog.Pkgs {
+		for _, sf := range pkg.Files {
+			if sf.Test {
+				continue
+			}
+			ast.Inspect(sf.AST, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.StructType:
+					for _, field := range v.Fields.List {
+						uf.seedNames(pkg, field.Names, field.Doc, field.Comment)
+					}
+				case *ast.GenDecl:
+					for _, spec := range v.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						doc := vs.Doc
+						if doc == nil && len(v.Specs) == 1 {
+							doc = v.Doc
+						}
+						uf.seedNames(pkg, vs.Names, doc, vs.Comment)
+					}
+				case *ast.FuncDecl:
+					uf.seedFunc(pkg, v)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (uf *unitflow) seedNames(pkg *Package, names []*ast.Ident, doc, trailing *ast.CommentGroup) {
+	u, directive := unitFromComments(doc, trailing)
+	if directive != nil && !knownUnits[u] {
+		uf.pass.Reportf(directive.Pos(), "%s wants exactly one of seconds|bytes|bytes/s|flops|flops/s|ratio (got %q)",
+			unitDirective, strings.TrimSpace(strings.TrimPrefix(directive.Text, unitDirective)))
+		return
+	}
+	if !dimensioned(u) {
+		return
+	}
+	// Prose-seeded units only attach to numeric carriers; an explicit
+	// directive on a non-numeric declaration is reported, not ignored.
+	for _, name := range names {
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			continue
+		}
+		if !numericCarrier(obj.Type()) {
+			if directive != nil {
+				uf.pass.Reportf(directive.Pos(), "%s %s on non-numeric %s (type %s)", unitDirective, u, name.Name, obj.Type())
+			}
+			continue
+		}
+		uf.setEnv(obj, u)
+	}
+}
+
+// seedFunc applies a function doc directive: bare `//vdce:unit seconds`
+// declares the result unit; `//vdce:unit bytes=bytes result=seconds` names
+// parameters explicitly.
+func (uf *unitflow) seedFunc(pkg *Package, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	params := map[string]types.Object{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				params[name.Name] = pkg.Info.Defs[name]
+			}
+		}
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, unitDirective)
+		if !ok {
+			continue
+		}
+		for _, tok := range strings.Fields(rest) {
+			name, val, hasEq := strings.Cut(tok, "=")
+			switch {
+			case !hasEq:
+				if !knownUnits[unit(name)] {
+					uf.pass.Reportf(c.Pos(), "%s: unknown unit %q", unitDirective, name)
+					continue
+				}
+				uf.setResult(obj, unit(name))
+			case name == "result":
+				if !knownUnits[unit(val)] {
+					uf.pass.Reportf(c.Pos(), "%s: unknown unit %q", unitDirective, val)
+					continue
+				}
+				uf.setResult(obj, unit(val))
+			default:
+				if !knownUnits[unit(val)] {
+					uf.pass.Reportf(c.Pos(), "%s: unknown unit %q", unitDirective, val)
+					continue
+				}
+				p, found := params[name]
+				if !found {
+					uf.pass.Reportf(c.Pos(), "%s: %s names no parameter of %s", unitDirective, tok, fd.Name.Name)
+					continue
+				}
+				uf.setEnv(p, unit(val))
+			}
+		}
+	}
+}
+
+// unitOf evaluates an expression's unit under the current environment.
+func (uf *unitflow) unitOf(pkg *Package, e ast.Expr) unit {
+	if e == nil {
+		return unitUnknown
+	}
+	e = ast.Unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		// Constant-folded expression. A named constant may carry a declared
+		// unit; bare literals and arithmetic over them are scalars.
+		if id, ok := e.(*ast.Ident); ok {
+			if u := uf.env[pkg.Info.Uses[id]]; dimensioned(u) {
+				return u
+			}
+		}
+		return unitScalar
+	}
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[v]
+		if obj == nil {
+			obj = pkg.Info.Defs[v]
+		}
+		return uf.env[obj]
+	case *ast.SelectorExpr:
+		if obj := pkg.Info.Uses[v.Sel]; obj != nil {
+			return uf.env[obj]
+		}
+	case *ast.IndexExpr:
+		return uf.unitOf(pkg, v.X) // container unit = element unit
+	case *ast.StarExpr:
+		return uf.unitOf(pkg, v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB || v.Op == token.ADD || v.Op == token.AND {
+			return uf.unitOf(pkg, v.X)
+		}
+	case *ast.BinaryExpr:
+		x, y := uf.unitOf(pkg, v.X), uf.unitOf(pkg, v.Y)
+		switch v.Op {
+		case token.MUL:
+			return mulUnit(x, y)
+		case token.QUO:
+			return divUnit(x, y)
+		case token.ADD, token.SUB:
+			u, _ := addUnit(x, y)
+			return u
+		case token.REM:
+			return x
+		}
+	case *ast.CallExpr:
+		return uf.callUnit(pkg, v)
+	}
+	return unitUnknown
+}
+
+func (uf *unitflow) callUnit(pkg *Package, call *ast.CallExpr) unit {
+	fun := ast.Unparen(call.Fun)
+	// Conversions preserve the operand's unit: float64(bytes) is still bytes.
+	if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return uf.unitOf(pkg, call.Args[0])
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if f, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+			switch {
+			case stdFunc(f, "time", "Seconds"): // (time.Duration).Seconds
+				return "seconds"
+			case stdFunc(f, "math", "Abs"), stdFunc(f, "math", "Floor"),
+				stdFunc(f, "math", "Ceil"), stdFunc(f, "math", "Round"):
+				if len(call.Args) == 1 {
+					return uf.unitOf(pkg, call.Args[0])
+				}
+			case stdFunc(f, "math", "Max"), stdFunc(f, "math", "Min"):
+				if len(call.Args) == 2 {
+					u, _ := addUnit(uf.unitOf(pkg, call.Args[0]), uf.unitOf(pkg, call.Args[1]))
+					return u
+				}
+			}
+		}
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, builtin := pkg.Info.Uses[id].(*types.Builtin); builtin {
+			if (id.Name == "min" || id.Name == "max") && len(call.Args) >= 2 {
+				u := uf.unitOf(pkg, call.Args[0])
+				for _, a := range call.Args[1:] {
+					u, _ = addUnit(u, uf.unitOf(pkg, a))
+				}
+				return u
+			}
+			return unitUnknown
+		}
+	}
+	site := uf.pass.Prog.ResolveCall(pkg, call)
+	if site == nil || site.Unresolved || len(site.Callees) == 0 {
+		return unitUnknown
+	}
+	// All possible callees must agree for the result unit to be known.
+	u := uf.results[site.Callees[0]]
+	for _, callee := range site.Callees[1:] {
+		if uf.results[callee] != u {
+			return unitUnknown
+		}
+	}
+	return u
+}
+
+// assignTarget resolves the object a store writes through: the root
+// variable for an ident, the field for a selector, the container's object
+// for an index expression.
+func assignTarget(pkg *Package, lhs ast.Expr) types.Object {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Defs[v]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Uses[v]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return assignTarget(pkg, v.X)
+	case *ast.StarExpr:
+		return assignTarget(pkg, v.X)
+	}
+	return nil
+}
+
+// mapIndexStore reports whether lhs writes through a map index.
+func mapIndexStore(pkg *Package, lhs ast.Expr) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := pkg.Info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// infer is one propagation pass over a function: stores, returns, and call
+// arguments flow units into unannotated objects (first writer wins; the
+// check pass reports disagreements).
+func (uf *unitflow) infer(fi *FuncInfo) {
+	pkg := fi.Pkg
+	// Rooted at the declaration so enclosingFuncBody sees the FuncDecl for
+	// the function's own returns (a body-rooted walk would hide it).
+	inspectWithStack(fi.Decl, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					// A store through a map index must not infer the map's
+					// element unit: string-keyed metric maps are
+					// heterogeneous by nature (makespans next to ratios).
+					// Only an explicit seed gives a map a unit.
+					if mapIndexStore(pkg, lhs) {
+						continue
+					}
+					if u := uf.unitOf(pkg, v.Rhs[i]); dimensioned(u) {
+						uf.setEnv(assignTarget(pkg, lhs), u)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(v.Results) >= 1 && enclosingFuncBody(stack) == fi.Decl.Body {
+				uf.setResult(fi.Obj, uf.unitOf(pkg, v.Results[0]))
+			}
+		case *ast.CallExpr:
+			uf.inferCall(pkg, v)
+		}
+		return true
+	})
+}
+
+// inferCall flows known argument units into a static in-load callee's
+// unannotated parameters.
+func (uf *unitflow) inferCall(pkg *Package, call *ast.CallExpr) {
+	site := uf.pass.Prog.ResolveCall(pkg, call)
+	if site == nil || site.Unresolved || site.Interface || len(site.Callees) != 1 {
+		return
+	}
+	params := uf.paramObjects(site.Callees[0])
+	if params == nil || len(call.Args) != len(params) {
+		return // out of load, variadic, or method-value shapes: skip
+	}
+	for i, arg := range call.Args {
+		if u := uf.unitOf(pkg, arg); dimensioned(u) && params[i] != nil && numericCarrier(params[i].Type()) {
+			uf.setEnv(params[i], u)
+		}
+	}
+}
+
+// paramObjects returns the callee's declared parameter objects in order,
+// nil when the body is outside the load.
+func (uf *unitflow) paramObjects(f *types.Func) []types.Object {
+	fi := uf.pass.Prog.FuncInfoOf(f)
+	if fi == nil || fi.Decl.Type.Params == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, fi.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// check is the reporting pass: every known-known incompatibility is a
+// finding.
+func (uf *unitflow) check(fi *FuncInfo) {
+	pkg := fi.Pkg
+	inspectWithStack(fi.Decl, func(n ast.Node, stack []ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				x, y := uf.unitOf(pkg, v.X), uf.unitOf(pkg, v.Y)
+				if _, bad := addUnit(x, y); bad {
+					uf.emit(v.OpPos, "unit mismatch: %s %s %s", x, v.Op, y)
+				}
+			}
+		case *ast.AssignStmt:
+			uf.checkAssign(pkg, v)
+		case *ast.ReturnStmt:
+			if len(v.Results) >= 1 && enclosingFuncBody(stack) == fi.Decl.Body {
+				want := uf.results[fi.Obj]
+				got := uf.unitOf(pkg, v.Results[0])
+				if dimensioned(want) && dimensioned(got) && want != got {
+					uf.emit(v.Pos(), "returning %s value from a function declared to return %s", got, want)
+				}
+			}
+		case *ast.CallExpr:
+			uf.checkCall(pkg, v)
+		}
+		return true
+	})
+}
+
+func (uf *unitflow) checkAssign(pkg *Package, s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		want := uf.env[assignTarget(pkg, lhs)]
+		got := uf.unitOf(pkg, s.Rhs[i])
+		switch s.Tok {
+		case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if dimensioned(want) && dimensioned(got) && want != got {
+				uf.emit(s.Rhs[i].Pos(), "assigning %s value to %s (%s)", got, want, exprString(lhs))
+			}
+		case token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// x *= ratio keeps x's unit; anything else dimensioned changes it.
+			if dimensioned(want) && dimensioned(got) && got != "ratio" {
+				uf.emit(s.Rhs[i].Pos(), "%s %s= %s changes the variable's unit", want, s.Tok.String()[:1], got)
+			}
+		}
+	}
+}
+
+func (uf *unitflow) checkCall(pkg *Package, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if f, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok &&
+			(stdFunc(f, "math", "Max") || stdFunc(f, "math", "Min")) && len(call.Args) == 2 {
+			x, y := uf.unitOf(pkg, call.Args[0]), uf.unitOf(pkg, call.Args[1])
+			if _, bad := addUnit(x, y); bad {
+				uf.emit(call.Pos(), "unit mismatch: math.%s(%s, %s)", f.Name(), x, y)
+			}
+			return
+		}
+	}
+	site := uf.pass.Prog.ResolveCall(pkg, call)
+	if site == nil || site.Unresolved || site.Interface || len(site.Callees) != 1 {
+		return
+	}
+	params := uf.paramObjects(site.Callees[0])
+	if params == nil || len(call.Args) != len(params) {
+		return
+	}
+	for i, arg := range call.Args {
+		if params[i] == nil {
+			continue
+		}
+		want := uf.env[params[i]]
+		got := uf.unitOf(pkg, arg)
+		if dimensioned(want) && dimensioned(got) && want != got {
+			uf.emit(arg.Pos(), "passing %s value as %s parameter %s of %s",
+				got, want, params[i].Name(), site.Callees[0].Name())
+		}
+	}
+}
+
+func (uf *unitflow) emit(pos token.Pos, format string, args ...any) {
+	key := uf.pass.Prog.fset().Position(pos).String() + "|" + format
+	if uf.emitted[key] {
+		return
+	}
+	uf.emitted[key] = true
+	uf.pass.Reportf(pos, format, args...)
+}

@@ -94,6 +94,8 @@ func (n *Network) Path(a, b string) PathSpec {
 // being orders of magnitude below WAN cost (we keep the small LAN term so
 // intra-site transfers are still accounted, which is strictly more accurate
 // than the paper's simplification).
+//
+//vdce:unit bytes=bytes
 func (n *Network) TransferTime(a, b string, bytes int64) time.Duration {
 	p := n.Path(a, b)
 	if bytes < 0 {
@@ -105,6 +107,8 @@ func (n *Network) TransferTime(a, b string, bytes int64) time.Duration {
 
 // InjectDelay sleeps for the scaled modelled transfer time. The Data
 // Manager calls this around real socket writes between co-simulated sites.
+//
+//vdce:unit bytes=bytes
 func (n *Network) InjectDelay(a, b string, bytes int64) {
 	d := n.TransferTime(a, b, bytes)
 	n.mu.RLock()
@@ -179,6 +183,8 @@ func (n *Network) Nearest(from string, k int) []string {
 // StarTopology connects every pair of the named sites with latencies that
 // grow with index distance (site 0 is the hub region). Deterministic, used
 // by benchmarks.
+//
+//vdce:unit bandwidth=bytes/s
 func StarTopology(sites []string, baseLatency time.Duration, bandwidth float64, scale float64) *Network {
 	n := New(DefaultLAN, scale)
 	for i, a := range sites {

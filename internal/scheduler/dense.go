@@ -34,12 +34,13 @@ type HostRef struct {
 // HostCoster extension) contribute no columns; their single best offer per
 // task sits in the site block's fallback slice instead.
 type CostMatrix struct {
-	ix     *afg.Index
-	hosts  []HostRef
-	col    map[string]int32 // host name -> dense column
-	pred   []float64        // V×H row-major; NaN = ineligible
-	blocks []siteBlock      // participating sites, ascending name
-	sites  []string         // participating site names, ascending
+	ix    *afg.Index
+	hosts []HostRef
+	col   map[string]int32 // host name -> dense column
+	//vdce:unit seconds
+	pred   []float64   // V×H row-major; NaN = ineligible
+	blocks []siteBlock // participating sites, ascending name
+	sites  []string    // participating site names, ascending
 }
 
 // siteBlock is one site's contribution to the matrix: a column range for
@@ -378,7 +379,7 @@ func gatherCostMatrix(ix *afg.Index, req *Request) (*CostMatrix, error) {
 // empty Host marks "no offer"); ids the index does not know are dropped.
 func denseChoices(ix *afg.Index, m map[afg.TaskID]Choice) []Choice {
 	out := make([]Choice, ix.Len())
-	//vdce:ignore maporder ix.Of is injective: every id writes its own dense slot, so visit order cannot be observed
+	//vdce:ignore maporder,detflow ix.Of is injective: every id writes its own dense slot, so visit order cannot be observed
 	for id, c := range m {
 		if t := ix.Of(id); t >= 0 {
 			out[t] = c
@@ -409,7 +410,7 @@ func denseFromCostMap(ix *afg.Index, m map[afg.TaskID][]Choice) (hosts []string,
 	for i := range pred {
 		pred[i] = math.NaN()
 	}
-	//vdce:ignore maporder ix.Of is injective and host columns are fixed: each (task, host) cell is written once
+	//vdce:ignore maporder,detflow ix.Of is injective and host columns are fixed: each (task, host) cell is written once
 	for id, cs := range m {
 		t := ix.Of(id)
 		if t < 0 {

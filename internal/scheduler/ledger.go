@@ -66,6 +66,8 @@ func NewLoadLedger() *LoadLedger {
 }
 
 // Reserve records `seconds` of predicted work placed on host.
+//
+//vdce:unit seconds=seconds
 func (l *LoadLedger) Reserve(host string, seconds float64) {
 	if seconds <= 0 {
 		return
@@ -79,6 +81,8 @@ func (l *LoadLedger) Reserve(host string, seconds float64) {
 
 // Release removes `seconds` of previously reserved work from host,
 // clamping at zero (a release may race a monitor-driven reset).
+//
+//vdce:unit seconds=seconds
 func (l *LoadLedger) Release(host string, seconds float64) {
 	if seconds <= 0 {
 		return
@@ -93,6 +97,8 @@ func (l *LoadLedger) Release(host string, seconds float64) {
 }
 
 // Busy returns the reserved busy seconds currently standing on host.
+//
+//vdce:unit seconds
 func (l *LoadLedger) Busy(host string) float64 {
 	s := l.shard(host)
 	s.mu.Lock()

@@ -237,6 +237,8 @@ type SubmitReply struct {
 // Submit schedules an application across this site and its configured
 // peers, executing local tasks directly and remote tasks through the
 // owning site's RunTask endpoint (cmd/vdce-submit's entry point).
+//
+//vdce:ignore detflow the reply reports a real execution: measured elapsed runtime and observed reschedules, not schedule decisions
 func (s *Service) Submit(args SubmitArgs, reply *SubmitReply) error {
 	g, err := afg.Decode(args.AFG)
 	if err != nil {
