@@ -2,26 +2,36 @@
 // mechanical enforcement of the determinism, float-exactness, lock
 // discipline, and evaluation-coverage invariants everything else in this
 // reproduction leans on — plus the interprocedural tier (detflow,
-// lockorder, unitflow) built on the call-graph engine. See internal/lint
-// for the rules and the //vdce:ignore suppression convention.
+// lockorder, unitflow) built on the call-graph engine and the
+// performance-contract tier (allocflow) over //vdce:hot cones. See
+// internal/lint for the rules and the //vdce:ignore suppression convention.
 //
 // Usage:
 //
 //	vdce-vet [flags] [packages]
 //
-// With no packages it analyzes ./... . Exits 1 if any unsuppressed finding
-// remains, 0 on a clean tree — CI runs it as a required check.
+// With no packages it analyzes ./... . Exit codes are distinct so CI can
+// tell a dirty tree from a broken driver: 0 = clean, 1 = findings remain,
+// 2 = driver error (bad flags, unknown rule, load or type-check failure).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"repro/internal/lint"
+)
+
+// The exit-code contract (pinned by TestExitCodes, consumed by CI).
+const (
+	exitClean    = 0
+	exitFindings = 1 // at least one unsuppressed finding
+	exitError    = 2 // driver failure: flags, load, type-check, or encoding
 )
 
 // jsonFinding is the machine-readable wire form of one finding: flat
@@ -53,14 +63,14 @@ func toJSON(findings []lint.Finding) []jsonFinding {
 	return out
 }
 
-func emitJSON(v any) int {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
-		return 2
+		fmt.Fprintf(stderr, "vdce-vet: %v\n", err)
+		return exitError
 	}
-	return 0
+	return exitClean
 }
 
 // githubEscape applies the workflow-command escaping rules to a message.
@@ -71,24 +81,29 @@ func githubEscape(s string) string {
 	return s
 }
 
-func run() int {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	rules := flag.String("rules", "", "comma-separated analyzer subset (default: all)")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON")
-	github := flag.Bool("github", false, "emit findings as GitHub ::error annotations")
-	inventory := flag.Bool("inventory", false, "list every //vdce:ignore directive instead of running analyzers")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vdce-vet [flags] [packages]\n")
-		flag.PrintDefaults()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vdce-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	github := fs.Bool("github", false, "emit findings as GitHub ::error annotations")
+	inventory := fs.Bool("inventory", false, "list every //vdce:ignore directive instead of running analyzers")
+	escapes := fs.Bool("escapes", false, "report compiler escape analysis over the //vdce:hot cones instead of running analyzers")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: vdce-vet [flags] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return 0
+		return exitClean
 	}
 	if *rules != "" {
 		want := map[string]bool{}
@@ -108,61 +123,78 @@ func run() int {
 				unknown = append(unknown, r)
 			}
 			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "vdce-vet: unknown rule(s): %s\n", strings.Join(unknown, ", "))
-			return 2
+			fmt.Fprintf(stderr, "vdce-vet: unknown rule(s): %s (registered: %s)\n",
+				strings.Join(unknown, ", "), strings.Join(lint.RuleNames(), ", "))
+			return exitError
 		}
 		analyzers = picked
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	if *escapes {
+		rep, err := lint.Escapes("", patterns...)
+		if err != nil {
+			fmt.Fprintf(stderr, "vdce-vet: %v\n", err)
+			return exitError
+		}
+		if *asJSON {
+			return emitJSON(stdout, stderr, rep.Inventory)
+		}
+		var b strings.Builder
+		rep.WriteTo(&b)
+		fmt.Fprint(stdout, b.String())
+		return exitClean
+	}
+
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "vdce-vet: %v\n", err)
-		return 2
+		fmt.Fprintf(stderr, "vdce-vet: %v\n", err)
+		return exitError
 	}
 
 	if *inventory {
 		dirs := lint.Inventory(pkgs)
 		if *asJSON {
-			return emitJSON(dirs)
+			return emitJSON(stdout, stderr, dirs)
 		}
 		for _, d := range dirs {
 			scope := ""
 			if d.FileWide {
 				scope = " (file-wide)"
 			}
-			fmt.Printf("%s:%d: %s%s — %s\n", d.File, d.Line, strings.Join(d.Rules, ","), scope, d.Reason)
+			fmt.Fprintf(stdout, "%s:%d: %s%s — %s\n", d.File, d.Line, strings.Join(d.Rules, ","), scope, d.Reason)
 		}
-		fmt.Fprintf(os.Stderr, "vdce-vet: %d suppression(s) in %d package(s)\n", len(dirs), len(pkgs))
-		return 0
+		fmt.Fprintf(stderr, "vdce-vet: %d suppression(s) in %d package(s)\n", len(dirs), len(pkgs))
+		return exitClean
 	}
 
 	findings := lint.Run(pkgs, analyzers)
 	switch {
 	case *asJSON:
-		if code := emitJSON(toJSON(findings)); code != 0 {
+		if code := emitJSON(stdout, stderr, toJSON(findings)); code != exitClean {
 			return code
 		}
 	case *github:
 		for _, f := range findings {
-			fmt.Printf("::error file=%s,line=%d,col=%d,title=vdce-vet %s::%s\n",
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=vdce-vet %s::%s\n",
 				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, githubEscape(f.Msg))
 		}
 	default:
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "vdce-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		return 1
+		fmt.Fprintf(stderr, "vdce-vet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return exitFindings
 	}
-	return 0
+	return exitClean
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

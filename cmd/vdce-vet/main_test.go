@@ -1,13 +1,42 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"flag"
 	"go/token"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/lint"
 )
+
+// update regenerates testdata/wire_golden.json from the live analyzers:
+//
+//	go test ./cmd/vdce-vet -run TestJSONGolden -update
+var update = flag.Bool("update", false, "rewrite the -json wire golden from current output")
+
+// chdir switches into dir for the duration of the test. The CLI fixtures
+// under testdata/ are their own modules, so run() must execute from inside
+// them for go list to resolve packages against the fixture go.mod.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
 
 func TestToJSONFields(t *testing.T) {
 	in := []lint.Finding{{
@@ -46,5 +75,94 @@ func TestToJSONFields(t *testing.T) {
 func TestGithubEscape(t *testing.T) {
 	if got := githubEscape("50% done\r\nnext"); got != "50%25 done%0D%0Anext" {
 		t.Errorf("githubEscape = %q", got)
+	}
+}
+
+// TestUnknownRules pins the -rules error contract: an unrecognized name is a
+// driver error (exit 2) and the message lists both the offenders and the
+// full registered set, so a typo is self-correcting.
+func TestUnknownRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-rules", "nosuch,maporder,alsonot", "./..."}, &stdout, &stderr)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d (driver error)", code, exitError)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "unknown rule(s): alsonot, nosuch") {
+		t.Errorf("stderr does not name the unknown rules (sorted, known ones excluded): %q", msg)
+	}
+	for _, name := range lint.RuleNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr does not list registered rule %q: %q", name, msg)
+		}
+	}
+}
+
+// TestExitCodes pins the three-way exit contract CI depends on: 0 = clean
+// tree, 1 = findings remain, 2 = the driver itself failed. The clean and
+// wire fixtures under testdata/ are standalone modules exercising the first
+// two; flag and load failures exercise the third.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		dir  string // fixture module to run from ("" = stay put)
+		args []string
+		want int
+	}{
+		{"clean tree", "testdata/clean", []string{"./..."}, exitClean},
+		{"findings", "testdata/wire", []string{"./..."}, exitFindings},
+		{"findings as json", "testdata/wire", []string{"-json", "./..."}, exitFindings},
+		{"unknown rule", "testdata/clean", []string{"-rules", "nosuch", "./..."}, exitError},
+		{"bad pattern", "testdata/clean", []string{"./no/such/dir"}, exitError},
+		{"bad flag", "testdata/clean", []string{"-definitely-not-a-flag"}, exitError},
+	}
+	base, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chdir(t, filepath.Join(base, filepath.FromSlash(tc.dir)))
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, code, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestJSONGolden pins the -json wire contract end to end against the wire
+// fixture: one finding per analyzer family, byte-for-byte. File paths come
+// back absolute from go list, so they are normalized to fixture-relative
+// before comparison. Regenerate with -update after an intended change.
+func TestJSONGolden(t *testing.T) {
+	base, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join(base, "testdata", "wire_golden.json")
+	fixture := filepath.Join(base, "testdata", "wire")
+	chdir(t, fixture)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != exitFindings {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, exitFindings, stderr.String())
+	}
+	got := strings.ReplaceAll(stdout.String(), fixture+string(filepath.Separator), "")
+
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("-json output drifted from golden.\nRegenerate with -update if the change is intended.\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

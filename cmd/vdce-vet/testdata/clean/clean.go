@@ -1,0 +1,6 @@
+// Package cleanfix is a CLI test fixture with nothing to report: it pins
+// the exit-0 side of the exit-code contract.
+package cleanfix
+
+// Add is as deterministic as code gets.
+func Add(a, b int) int { return a + b }

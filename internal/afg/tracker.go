@@ -1,5 +1,7 @@
 package afg
 
+//vdce:ignore-file allocflow the Tracker is the id-keyed ready-set shared with the Runtime System (paper Fig 4 steps 6-7): probes are O(1) per completion and the per-iteration schedulers drive the dense Index walk instead
+
 import "sort"
 
 // Tracker maintains the "ready tasks" set of the Site Scheduler Algorithm

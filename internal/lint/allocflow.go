@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFlow returns the allocflow analyzer: the performance-contract tier.
+//
+// Invariant: code inside a //vdce:hot cone must not allocate per iteration.
+// The dense scheduling core (CSR adjacency, V×H cost matrix, binary-search
+// timelines, striped ledger) wins exactly because its inner loops run at
+// memory-system speed; every new policy family is a fresh chance to re-box
+// that path, and nothing before this tier enforced that it stays dense.
+//
+// Starting from every //vdce:hot function, allocflow walks the call graph
+// and flags, anywhere in the reachable cone:
+//
+//   - make / new / composite literals / growing append per hot iteration,
+//   - interface boxing at call sites and conversions (a concrete value
+//     handed to an interface parameter heap-allocates its box),
+//   - map reads, writes, deletes, and iteration on the per-task path (the
+//     PR-4 dense-index invariant: hot state is indexed by dense int, not by
+//     string key),
+//   - closures and defers materialized per iteration,
+//   - string concatenation and string/[]byte conversions (copy + alloc),
+//   - variadic calls that allocate their argument slice (fmt on hot paths).
+//
+// Two contexts produce two wordings: a site physically inside a for/range
+// statement is "in a hot loop"; a straight-line site in a function that
+// some call path reaches from inside a loop is "on a per-iteration hot
+// path" — it runs once per iteration all the same.
+//
+// An allocflow waiver is a certification with pruning power: a
+// //vdce:ignore allocflow span covering a call site stops the cone walk at
+// that call, so one reviewed waiver at an amortized boundary (a per-graph
+// gather, a generation-cached index build, a cold error path) clears the
+// whole callee subtree. The compiler cross-check (`vdce-vet -escapes`,
+// escapes.go) anchors these verdicts to `go build -gcflags='-m -m'` ground
+// truth.
+func AllocFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "allocflow",
+		Doc:  "//vdce:hot cones must not allocate per iteration: no loop allocs, boxing, or map traffic on the dense path",
+	}
+	a.RunProgram = func(pass *ProgramPass) {
+		hc := buildHotCone(pass.Prog)
+		for _, n := range hc.notes {
+			pass.Reportf(n.pos, "%s", n.msg)
+		}
+		for _, e := range hc.order {
+			checkHotFunc(pass, e)
+		}
+	}
+	return a
+}
+
+// checkHotFunc scans one cone member's body for allocation sources.
+func checkHotFunc(pass *ProgramPass, e *coneEntry) {
+	info := e.fi.Pkg.Info
+	cone := strings.Join(e.roots, ", ")
+	report := func(pos token.Pos, inLoop bool, what string) {
+		where := "on a per-iteration hot path"
+		if inLoop {
+			where = "in a hot loop"
+		}
+		pass.Reportf(pos, "%s %s (hot: %s)", what, where, cone)
+	}
+	inspectWithStack(e.fi.Decl, func(n ast.Node, stack []ast.Node) bool {
+		inLoop := stackInLoop(stack)
+		hotIter := e.looped || inLoop
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if tv, ok := info.Types[fun]; ok && tv.IsType() {
+				if hotIter {
+					checkConversion(report, info, n, tv.Type, inLoop)
+				}
+				return true
+			}
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if hotIter {
+						switch b.Name() {
+						case "make":
+							report(n.Pos(), inLoop, "heap allocation (make)")
+						case "new":
+							report(n.Pos(), inLoop, "heap allocation (new)")
+						case "append":
+							report(n.Pos(), inLoop, "append may grow its backing array")
+						case "delete":
+							report(n.Pos(), inLoop, "map write — prefer a dense index")
+						}
+					}
+					return true
+				}
+			}
+			if hotIter {
+				checkCallAlloc(report, info, n, inLoop)
+			}
+		case *ast.CompositeLit:
+			if !hotIter {
+				return true
+			}
+			addr := false
+			if len(stack) > 0 {
+				if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+					addr = true
+				}
+			}
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), inLoop, "slice literal allocates")
+			case *types.Map:
+				report(n.Pos(), inLoop, "map literal allocates")
+			default:
+				if addr {
+					report(n.Pos(), inLoop, "&composite literal allocates")
+				}
+			}
+		case *ast.IndexExpr:
+			if !hotIter {
+				return true
+			}
+			t := info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); ok {
+				what := "map read — prefer a dense index"
+				if isAssignTarget(stack, n) {
+					what = "map write — prefer a dense index"
+				}
+				report(n.Pos(), inLoop, what)
+			}
+		case *ast.RangeStmt:
+			if !hotIter {
+				return true
+			}
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n.Pos(), inLoop, "map iteration — prefer a dense index")
+				}
+			}
+		case *ast.FuncLit:
+			if hotIter {
+				report(n.Pos(), inLoop, "closure allocates")
+			}
+		case *ast.DeferStmt:
+			// Straight-line defers are open-coded (free); only a defer inside
+			// a loop heap-allocates its frame and queues work per iteration.
+			if inLoop {
+				report(n.Pos(), true, "defer heap-allocates its frame")
+			}
+		case *ast.BinaryExpr:
+			if !hotIter || n.Op != token.ADD {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil || !isString(t) {
+				return true
+			}
+			if tv, ok := info.Types[n]; ok && tv.Value != nil {
+				return true // constant-folded
+			}
+			// Flag the outermost + of a concatenation chain once, not every
+			// nested BinaryExpr inside it.
+			if len(stack) > 0 {
+				if p, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && p.Op == token.ADD {
+					if pt := info.TypeOf(p); pt != nil && isString(pt) {
+						return true
+					}
+				}
+			}
+			report(n.Pos(), inLoop, "string concatenation allocates")
+		}
+		return true
+	})
+}
+
+// checkConversion flags hot conversions that allocate: boxing into an
+// interface type and string<->[]byte/[]rune copies.
+func checkConversion(report func(token.Pos, bool, string), info *types.Info, call *ast.CallExpr, to types.Type, inLoop bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		return // constant conversion, folded at compile time
+	}
+	from := info.TypeOf(arg)
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) && boxAllocates(from) {
+		report(call.Pos(), inLoop, "interface conversion boxes "+shortTypeString(from))
+		return
+	}
+	if stringBytesConv(from, to) {
+		report(call.Pos(), inLoop, "string/[]byte conversion copies and allocates")
+	}
+}
+
+// checkCallAlloc flags allocation forced by a call's argument passing:
+// variadic slices and interface-parameter boxing.
+func checkCallAlloc(report func(token.Pos, bool, string), info *types.Info, call *ast.CallExpr, inLoop bool) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= params.Len() {
+		report(call.Pos(), inLoop, "variadic call allocates its argument slice")
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic() && i == params.Len()-1:
+			pt = params.At(i).Type() // arg... passed through, no boxing here
+			continue
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+			continue // constants box to read-only statics
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) || !boxAllocates(at) {
+			continue
+		}
+		if bt, ok := at.(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		report(call.Pos(), inLoop, "interface conversion boxes "+shortTypeString(at))
+		return // one boxing finding per call site is enough to review it
+	}
+}
+
+// shortTypeString renders a type with bare package names ("scheduler.Host",
+// not the full import path) for messages.
+func shortTypeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		path := p.Path()
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			path = path[i+1:]
+		}
+		return path
+	})
+}
+
+// boxAllocates reports whether converting a value of concrete type t to an
+// interface heap-allocates the box. Pointer-shaped types (pointers,
+// channels, maps, funcs, unsafe.Pointer) fit in the interface word.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringBytesConv reports a string <-> []byte/[]rune conversion (copies).
+func stringBytesConv(from, to types.Type) bool {
+	return (isString(from) && byteOrRuneSlice(to)) || (isString(to) && byteOrRuneSlice(from))
+}
+
+func byteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isAssignTarget reports whether n is written through: it appears on the
+// left of an assignment or under ++/--.
+func isAssignTarget(stack []ast.Node, n ast.Expr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == n {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == n
+	}
+	return false
+}

@@ -126,39 +126,12 @@ type detflow struct {
 
 // collectWaivers indexes the detflow suppression spans across the load.
 func (d *detflow) collectWaivers() {
-	d.waive = map[string][][2]int{}
-	fset := d.pass.Prog.fset()
-	for _, pkg := range d.pass.Prog.Pkgs {
-		for _, sf := range pkg.Files {
-			for _, s := range parseSuppressions(fset, sf.AST) {
-				named := false
-				for _, r := range s.rules {
-					if r == "detflow" {
-						named = true
-					}
-				}
-				if !named {
-					continue
-				}
-				span := [2]int{s.line, s.endLine}
-				if s.fileWide {
-					span = [2]int{1, int(^uint(0) >> 1)}
-				}
-				d.waive[s.file] = append(d.waive[s.file], span)
-			}
-		}
-	}
+	d.waive = ignoreSpans(d.pass.Prog, "detflow")
 }
 
 // waived reports whether pos falls inside a //vdce:ignore detflow span.
 func (st *funcState) waived(pos token.Pos) bool {
-	p := st.d.pass.Prog.fset().Position(pos)
-	for _, span := range st.d.waive[p.Filename] {
-		if p.Line >= span[0] && p.Line <= span[1] {
-			return true
-		}
-	}
-	return false
+	return coveredBySpans(st.d.waive, st.d.pass.Prog.fset(), pos)
 }
 
 // sinkTypeNames are the schedule-output types by bare name (the fixture

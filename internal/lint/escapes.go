@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compiler cross-check harness behind `vdce-vet -escapes`: allocflow's
+// verdicts are a static model of what the gc backend will do, and a model
+// drifts. This file anchors it to ground truth by running the compiler's
+// own escape analysis (`go build -gcflags='-m -m'`) over every package that
+// contains hot-cone functions, attributing each "escapes to heap" / "moved
+// to heap" diagnostic to the cone function whose body contains it, and
+// diff-reporting the two views:
+//
+//   - agreement: both the analyzer and the compiler see an allocation there;
+//   - analyzer-only: allocflow flags a line the compiler proves stack-safe
+//     (or polices for contract reasons the compiler does not model, which
+//     the diff excludes up front — the dense-index rules);
+//   - compiler-only: the compiler heap-allocates where allocflow is silent
+//     (typically straight-line setup in a root, which the contract allows).
+//
+// The attributed inventory — message texts only, no line numbers, so
+// unrelated edits above a site do not churn it — is pinned by
+// testdata/escapes_golden.json: any new allocation appearing in a
+// scheduler/afg/netsim hot path is a reviewable golden diff.
+
+// EscapeFunc is one hot-cone function's compiler-reported allocation sites:
+// normalized messages, sorted, duplicates kept (two identical makes are two
+// allocations).
+type EscapeFunc struct {
+	Func  string   `json:"func"`
+	Sites []string `json:"sites"`
+}
+
+// EscapePackage groups the hot-cone functions of one package.
+type EscapePackage struct {
+	ImportPath string       `json:"importPath"`
+	Funcs      []EscapeFunc `json:"funcs"`
+}
+
+// EscapeInventory is the golden-pinned view: the compiler's allocation
+// sites inside hot cones, keyed by package and function.
+type EscapeInventory struct {
+	// GoVersion is the minor toolchain version ("go1.24") the inventory was
+	// recorded with: escape analysis changes across minor releases, so the
+	// golden comparison is gated on it (the CI smoke step still runs the
+	// harness on any toolchain).
+	GoVersion string          `json:"goVersion"`
+	Packages  []EscapePackage `json:"packages"`
+}
+
+// EscapeDiff is one line-level disagreement (or agreement) between
+// allocflow and the compiler.
+type EscapeDiff struct {
+	File string // module-relative
+	Line int
+	Msg  string
+}
+
+func (d EscapeDiff) String() string { return fmt.Sprintf("%s:%d: %s", d.File, d.Line, d.Msg) }
+
+// EscapeReport is everything `vdce-vet -escapes` prints.
+type EscapeReport struct {
+	Inventory *EscapeInventory
+	Roots     []HotRoot
+	ConeFuncs int
+	// TotalSites is the hot-cone allocation-site count (the CI job summary
+	// number).
+	TotalSites   int
+	Agreement    []EscapeDiff
+	AnalyzerOnly []EscapeDiff
+	CompilerOnly []EscapeDiff
+}
+
+// goMinorVersion reduces runtime.Version() to its minor component
+// ("go1.24.0" → "go1.24"); devel toolchains pass through verbatim.
+func goMinorVersion() string {
+	v := runtime.Version()
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) < 2 || !strings.HasPrefix(v, "go") {
+		return v
+	}
+	return parts[0] + "." + parts[1]
+}
+
+// escapeDiagRE matches one compiler diagnostic line.
+var escapeDiagRE = regexp.MustCompile(`^([^ \t].*\.go):(\d+):(\d+): (.*)$`)
+
+// escapeSite is one deduplicated compiler diagnostic.
+type escapeSite struct {
+	file string // absolute
+	line int
+	col  int
+	msg  string
+}
+
+// isEscapeMsg keeps only the allocation verdicts, dropping inlining chatter,
+// "does not escape" proofs, and the indented flow-explanation lines -m -m
+// adds (those fail escapeDiagRE's no-leading-space anchor anyway).
+func isEscapeMsg(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+}
+
+// Escapes loads the patterns, builds the hot cone, runs the compiler's
+// escape analysis over every package containing cone functions, and returns
+// the attributed inventory plus the analyzer/compiler diff.
+func Escapes(dir string, patterns ...string) (*EscapeReport, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return EscapesFor(pkgs)
+}
+
+// EscapesFor is Escapes over an already-loaded package set.
+func EscapesFor(pkgs []*Package) (*EscapeReport, error) {
+	prog := BuildProgram(pkgs)
+	hc := buildHotCone(prog)
+	rep := &EscapeReport{
+		Inventory: &EscapeInventory{GoVersion: goMinorVersion()},
+		Roots:     hc.roots,
+		ConeFuncs: len(hc.order),
+	}
+	fset := prog.fset()
+
+	// The build targets: every package holding at least one cone function.
+	// Generic cone functions (the boxing-free minheap) emit their
+	// diagnostics from the instantiating package's build, so sites are
+	// deduplicated globally and attributed by cone membership, not by which
+	// build printed them.
+	byPkg := map[*Package][]*coneEntry{}
+	var targets []*Package
+	for _, e := range hc.order {
+		if byPkg[e.fi.Pkg] == nil {
+			targets = append(targets, e.fi.Pkg)
+		}
+		byPkg[e.fi.Pkg] = append(byPkg[e.fi.Pkg], e)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	seen := map[escapeSite]bool{}
+	var sites []escapeSite
+	for _, pkg := range targets {
+		diags, err := compileForEscapes(pkg.RootDir, pkg.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range diags {
+			if !seen[s] {
+				seen[s] = true
+				sites = append(sites, s)
+			}
+		}
+	}
+
+	// Attribute each site to the cone function whose declaration spans it.
+	type funcSites struct {
+		entry *coneEntry
+		msgs  []string
+	}
+	attributed := map[*coneEntry]*funcSites{}
+	var coneHits []escapeSite
+	for _, s := range sites {
+		for _, e := range hc.order {
+			declFile := fset.Position(e.fi.Decl.Pos()).Filename
+			if declFile != s.file {
+				continue
+			}
+			start := fset.Position(e.fi.Decl.Pos()).Line
+			end := fset.Position(e.fi.Decl.End()).Line
+			if s.line < start || s.line > end {
+				continue
+			}
+			fs := attributed[e]
+			if fs == nil {
+				fs = &funcSites{entry: e}
+				attributed[e] = fs
+			}
+			fs.msgs = append(fs.msgs, s.msg)
+			coneHits = append(coneHits, s)
+			break
+		}
+	}
+
+	// Inventory: packages in import-path order, functions in cone (FuncKey)
+	// order, site messages sorted.
+	for _, pkg := range targets {
+		ep := EscapePackage{ImportPath: pkg.ImportPath}
+		for _, e := range byPkg[pkg] {
+			fs := attributed[e]
+			if fs == nil {
+				continue
+			}
+			sort.Strings(fs.msgs)
+			ep.Funcs = append(ep.Funcs, EscapeFunc{Func: funcLabel(e.fi.Obj), Sites: fs.msgs})
+			rep.TotalSites += len(fs.msgs)
+		}
+		if len(ep.Funcs) > 0 {
+			rep.Inventory.Packages = append(rep.Inventory.Packages, ep)
+		}
+	}
+
+	rep.diff(prog, hc, coneHits)
+	return rep, nil
+}
+
+// diff classifies allocflow findings against the compiler sites per
+// (file, line). Contract-only categories the compiler does not model — the
+// dense-index map rules and the hot-directive hygiene notes — are excluded.
+func (rep *EscapeReport) diff(prog *Program, hc *hotCone, coneHits []escapeSite) {
+	a := AllocFlow()
+	var raw []Finding
+	a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, findings: &raw})
+
+	rel := func(abs string) string {
+		root := ""
+		if len(prog.Pkgs) > 0 {
+			root = prog.Pkgs[0].RootDir
+		}
+		if r, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return abs
+	}
+
+	compiler := map[string][]escapeSite{}
+	for _, s := range coneHits {
+		key := s.file + ":" + strconv.Itoa(s.line)
+		compiler[key] = append(compiler[key], s)
+	}
+	analyzerSeen := map[string]bool{}
+	for _, f := range raw {
+		if strings.Contains(f.Msg, "prefer a dense index") || strings.Contains(f.Msg, "//vdce:hot") {
+			continue
+		}
+		key := f.Pos.Filename + ":" + strconv.Itoa(f.Pos.Line)
+		analyzerSeen[key] = true
+		d := EscapeDiff{File: rel(f.Pos.Filename), Line: f.Pos.Line, Msg: f.Msg}
+		if len(compiler[key]) > 0 {
+			rep.Agreement = append(rep.Agreement, d)
+		} else {
+			rep.AnalyzerOnly = append(rep.AnalyzerOnly, d)
+		}
+	}
+	for _, s := range coneHits {
+		key := s.file + ":" + strconv.Itoa(s.line)
+		if !analyzerSeen[key] {
+			rep.CompilerOnly = append(rep.CompilerOnly, EscapeDiff{File: rel(s.file), Line: s.line, Msg: s.msg})
+		}
+	}
+	for _, list := range [][]EscapeDiff{rep.Agreement, rep.AnalyzerOnly, rep.CompilerOnly} {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].File != list[j].File {
+				return list[i].File < list[j].File
+			}
+			if list[i].Line != list[j].Line {
+				return list[i].Line < list[j].Line
+			}
+			return list[i].Msg < list[j].Msg
+		})
+	}
+}
+
+// compileForEscapes builds one package with the escape-analysis diagnostics
+// enabled and parses the allocation verdicts. Diagnostics replay from the
+// build cache, so repeated runs do not recompile.
+func compileForEscapes(rootDir, importPath string) ([]escapeSite, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "--", importPath)
+	cmd.Dir = rootDir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m %s: %w\n%s", importPath, err, stderr.String())
+	}
+	var out []escapeSite
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeDiagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !isEscapeMsg(msg) {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(rootDir, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, escapeSite{file: file, line: ln, col: col, msg: msg})
+	}
+	return out, nil
+}
+
+// WriteTo renders the human-readable report (the -escapes output).
+func (rep *EscapeReport) WriteTo(w *strings.Builder) {
+	fmt.Fprintf(w, "hot roots (%d):\n", len(rep.Roots))
+	for _, r := range rep.Roots {
+		budget := ""
+		if r.HasBudget {
+			budget = fmt.Sprintf(" allocs=%d", r.Budget)
+		}
+		fmt.Fprintf(w, "  %s%s\n", r.Label, budget)
+	}
+	fmt.Fprintf(w, "hot cone: %d function(s) in %d package(s)\n", rep.ConeFuncs, len(rep.Inventory.Packages))
+	for _, p := range rep.Inventory.Packages {
+		fmt.Fprintf(w, "%s\n", p.ImportPath)
+		for _, f := range p.Funcs {
+			fmt.Fprintf(w, "  %s\n", f.Func)
+			for _, s := range f.Sites {
+				fmt.Fprintf(w, "    %s\n", s)
+			}
+		}
+	}
+	fmt.Fprintf(w, "agreement: %d  analyzer-only: %d  compiler-only: %d\n",
+		len(rep.Agreement), len(rep.AnalyzerOnly), len(rep.CompilerOnly))
+	for _, d := range rep.AnalyzerOnly {
+		fmt.Fprintf(w, "  analyzer-only: %s\n", d)
+	}
+	for _, d := range rep.CompilerOnly {
+		fmt.Fprintf(w, "  compiler-only: %s\n", d)
+	}
+	fmt.Fprintf(w, "hot-cone allocation sites (compiler): %d\n", rep.TotalSites)
+}

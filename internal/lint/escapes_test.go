@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateEscapes regenerates testdata/escapes_golden.json from the live
+// compiler:
+//
+//	go test ./internal/lint -run TestEscapesGolden -update-escapes
+var updateEscapes = flag.Bool("update-escapes", false, "rewrite the escapes golden from the current toolchain")
+
+const escapesGolden = "testdata/escapes_golden.json"
+
+// TestEscapesGolden pins the hot-cone allocation-site inventory against the
+// compiler's own escape analysis (-gcflags='-m -m'). The golden records the
+// toolchain minor version it was generated with: a different toolchain still
+// exercises the whole harness (annotations parse, cones build, diagnostics
+// parse, sites attribute) but skips the exact diff, because escape-analysis
+// output legitimately shifts between compiler releases.
+func TestEscapesGolden(t *testing.T) {
+	rep, err := Escapes("../..", "./internal/...")
+	if err != nil {
+		t.Fatalf("Escapes: %v", err)
+	}
+	inv := rep.Inventory
+	if len(rep.Roots) == 0 {
+		t.Fatal("no //vdce:hot roots found — annotations missing?")
+	}
+	if rep.ConeFuncs == 0 {
+		t.Fatal("hot cone is empty")
+	}
+	if len(inv.Packages) == 0 || rep.TotalSites == 0 {
+		t.Fatalf("empty inventory: %d packages, %d sites — compiler diagnostics not parsed?", len(inv.Packages), rep.TotalSites)
+	}
+
+	if *updateEscapes {
+		data, err := json.MarshalIndent(inv, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.FromSlash(escapesGolden), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d packages, %d sites, %s)", escapesGolden, len(inv.Packages), rep.TotalSites, inv.GoVersion)
+		return
+	}
+
+	data, err := os.ReadFile(filepath.FromSlash(escapesGolden))
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-escapes): %v", err)
+	}
+	var want EscapeInventory
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt golden: %v", err)
+	}
+	if want.GoVersion != inv.GoVersion {
+		t.Skipf("golden was generated with %s, toolchain is %s: harness validated, exact diff skipped", want.GoVersion, inv.GoVersion)
+	}
+	got, err := json.MarshalIndent(inv, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if string(got) != string(data) {
+		t.Errorf("hot-cone escape inventory drifted from golden.\nRegenerate with -update-escapes if the change is intended.\ngot:\n%s", got)
+	}
+}
+
+// TestEscapesDiffShape checks the analyzer-vs-compiler diff classification:
+// every diff entry lands in exactly one bucket and agreement sites carry
+// both a compiler message and an analyzer finding location.
+func TestEscapesDiffShape(t *testing.T) {
+	rep, err := Escapes("../..", "./internal/scheduler")
+	if err != nil {
+		t.Fatalf("Escapes: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, bucket := range [][]EscapeDiff{rep.Agreement, rep.AnalyzerOnly, rep.CompilerOnly} {
+		for _, d := range bucket {
+			if d.File == "" || d.Line <= 0 || d.Msg == "" {
+				t.Errorf("malformed diff entry: %+v", d)
+			}
+			key := d.String()
+			if seen[key] {
+				t.Errorf("diff entry %s appears in more than one bucket", key)
+			}
+			seen[key] = true
+		}
+	}
+}

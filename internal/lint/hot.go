@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the performance-contract foundation shared by allocflow and
+// the escapes cross-check harness: parsing of //vdce:hot annotations and the
+// interprocedural hot-cone walk over the PR-7 call graph.
+//
+// A hot annotation lives in a function's doc comment:
+//
+//	//vdce:hot
+//	//vdce:hot allocs=N
+//
+// and declares the function a hot root: the function and everything
+// reachable from it through the call graph form the root's hot cone, inside
+// which allocflow polices allocation and dense-index discipline. The
+// optional allocs=N budget is the function's dynamic allocation budget per
+// op — checked at run time by testing.AllocsPerRun assertions next to the
+// micro-benchmarks; the static tier records it in inventories and messages.
+//
+// Cone growth is pruned by certification: a //vdce:ignore allocflow span
+// covering a call site keeps the walk from descending through that call, so
+// one reviewed waiver at an amortized boundary (a per-graph setup gather, a
+// cached index build) clears the entire callee subtree instead of demanding
+// a waiver on every allocation inside it.
+
+const hotDirective = "//vdce:hot"
+
+// HotRoot is one //vdce:hot-annotated function.
+type HotRoot struct {
+	Fn        *types.Func
+	Label     string // short diagnostic label, e.g. "scheduler.Simulate"
+	Budget    int    // allocs=N budget; meaningful only when HasBudget
+	HasBudget bool
+	Pos       token.Pos
+}
+
+// hotNote is a parse-time diagnostic about a malformed or misplaced
+// directive, reported by allocflow.
+type hotNote struct {
+	pos token.Pos
+	msg string
+}
+
+// funcLabel is the short human label used in hot-cone messages:
+// "scheduler.Simulate", "scheduler.timeline.earliest".
+func funcLabel(f *types.Func) string {
+	name := f.Name()
+	if recv := recvTypeName(f); recv != "" {
+		name = recv + "." + name
+	}
+	if f.Pkg() != nil {
+		path := f.Pkg().Path()
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			path = path[i+1:]
+		}
+		return path + "." + name
+	}
+	return name
+}
+
+// parseHotRoots scans every analyzed function's doc comment for //vdce:hot
+// directives. It returns the roots in FuncKey order plus diagnostics for
+// malformed budgets and directives not attached to a function declaration.
+func parseHotRoots(prog *Program) ([]HotRoot, []hotNote) {
+	var roots []HotRoot
+	var notes []hotNote
+	consumed := map[*ast.Comment]bool{}
+	for _, fi := range prog.Funcs() {
+		if fi.Decl.Doc == nil {
+			continue
+		}
+		for _, c := range fi.Decl.Doc.List {
+			if !strings.HasPrefix(c.Text, hotDirective) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, hotDirective)
+			if rest != "" && !strings.HasPrefix(rest, " ") {
+				continue // e.g. //vdce:hotfix — not ours
+			}
+			consumed[c] = true
+			root := HotRoot{Fn: fi.Obj, Label: funcLabel(fi.Obj), Pos: c.Pos()}
+			ok := true
+			for _, field := range strings.Fields(rest) {
+				val, found := strings.CutPrefix(field, "allocs=")
+				if !found {
+					notes = append(notes, hotNote{c.Pos(), fmt.Sprintf("//vdce:hot: unknown token %q (want a bare directive or allocs=N)", field)})
+					ok = false
+					continue
+				}
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					notes = append(notes, hotNote{c.Pos(), fmt.Sprintf("//vdce:hot: bad allocation budget %q (want a non-negative integer)", val)})
+					ok = false
+					continue
+				}
+				root.Budget, root.HasBudget = n, true
+			}
+			if ok {
+				roots = append(roots, root)
+			}
+		}
+	}
+	// A //vdce:hot anywhere else (a stray line, a type, a test file left
+	// out of the program) silently annotates nothing: that is a finding.
+	for _, pkg := range prog.Pkgs {
+		for _, sf := range pkg.Files {
+			if sf.Test {
+				continue
+			}
+			for _, cg := range sf.AST.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(c.Text, hotDirective) && !consumed[c] {
+						rest := strings.TrimPrefix(c.Text, hotDirective)
+						if rest == "" || strings.HasPrefix(rest, " ") {
+							notes = append(notes, hotNote{c.Pos(), "//vdce:hot must sit in the doc comment of a function declaration"})
+						}
+					}
+				}
+			}
+		}
+	}
+	fset := prog.fset()
+	sort.SliceStable(roots, func(i, j int) bool { return funcLess(fset, roots[i].Fn, roots[j].Fn) })
+	sort.SliceStable(notes, func(i, j int) bool { return fset.Position(notes[i].pos).Offset < fset.Position(notes[j].pos).Offset })
+	return roots, notes
+}
+
+// HotRoots returns the load's //vdce:hot-annotated functions in
+// deterministic order (inventories, the escapes harness, tests).
+func HotRoots(prog *Program) []HotRoot {
+	roots, _ := parseHotRoots(prog)
+	return roots
+}
+
+// coneEntry is one function's membership in the hot cone.
+type coneEntry struct {
+	fi *FuncInfo
+	// looped marks a per-iteration context: some call path from a root
+	// reaches this function through a call site nested in a loop, so even
+	// its straight-line allocations execute once per hot iteration.
+	looped bool
+	// roots are the labels of the hot roots whose cones include the
+	// function, sorted.
+	roots []string
+}
+
+// hotCone is the reachable cone of every hot root, with per-function loop
+// context.
+type hotCone struct {
+	prog    *Program
+	roots   []HotRoot
+	notes   []hotNote
+	members map[*types.Func]*coneEntry
+	order   []*coneEntry // deterministic FuncKey order
+	// prune holds the //vdce:ignore allocflow spans: call sites inside one
+	// are certified amortized and the walk does not descend through them.
+	prune map[string][][2]int
+}
+
+// buildHotCone parses the annotations and walks the call graph to a
+// fixpoint over the (reached, looped) lattice.
+func buildHotCone(prog *Program) *hotCone {
+	hc := &hotCone{
+		prog:    prog,
+		members: map[*types.Func]*coneEntry{},
+		prune:   ignoreSpans(prog, "allocflow"),
+	}
+	hc.roots, hc.notes = parseHotRoots(prog)
+
+	type workItem struct {
+		fn     *types.Func
+		looped bool
+		root   string
+	}
+	var queue []workItem
+	for _, r := range hc.roots {
+		queue = append(queue, workItem{fn: r.Fn, root: r.Label})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		fi := prog.FuncInfoOf(it.fn)
+		if fi == nil {
+			continue // out of load (stdlib) — nothing to analyze
+		}
+		e := hc.members[it.fn.Origin()]
+		grew := false
+		if e == nil {
+			e = &coneEntry{fi: fi, looped: it.looped}
+			hc.members[it.fn.Origin()] = e
+			grew = true
+		} else if it.looped && !e.looped {
+			e.looped = true
+			grew = true
+		}
+		if !hasString(e.roots, it.root) {
+			e.roots = append(e.roots, it.root)
+			sort.Strings(e.roots)
+			grew = true
+		}
+		if !grew {
+			continue
+		}
+		// Descend: every resolvable call site expands the cone, with the
+		// looped flag joined from this function's context and the site's
+		// syntactic loop nesting. Certified (pruned) sites stop the walk.
+		hc.eachCall(fi, func(site *CallSite, inLoop bool) {
+			if hc.pruned(site.Call.Pos()) {
+				return
+			}
+			for _, callee := range site.Callees {
+				queue = append(queue, workItem{fn: callee.Origin(), looped: e.looped || inLoop, root: it.root})
+			}
+		})
+	}
+	// Funcs() is already in FuncKey order; filtering it keeps the cone
+	// deterministic without sorting map keys.
+	for _, fi := range prog.Funcs() {
+		if e := hc.members[fi.Obj.Origin()]; e != nil && e.fi == fi {
+			hc.order = append(hc.order, e)
+		}
+	}
+	return hc
+}
+
+// eachCall visits every resolved call site in fi's body with its syntactic
+// loop nesting (whether a for/range statement sits between the declaration
+// and the call).
+func (hc *hotCone) eachCall(fi *FuncInfo, fn func(site *CallSite, inLoop bool)) {
+	inspectWithStack(fi.Decl, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		site := hc.prog.ResolveCall(fi.Pkg, call)
+		if site == nil || len(site.Callees) == 0 {
+			return true
+		}
+		fn(site, stackInLoop(stack))
+		return true
+	})
+}
+
+// pruned reports whether pos falls in a //vdce:ignore allocflow span.
+func (hc *hotCone) pruned(pos token.Pos) bool {
+	return coveredBySpans(hc.prune, hc.prog.fset(), pos)
+}
+
+// entry returns fn's cone membership, nil when outside every hot cone.
+func (hc *hotCone) entry(fn *types.Func) *coneEntry {
+	if fn == nil {
+		return nil
+	}
+	return hc.members[fn.Origin()]
+}
+
+// stackInLoop reports whether a for or range statement encloses the node
+// in a per-iteration position within its declaration (the walk never
+// crosses declarations, so any qualifying loop on the stack means
+// per-iteration execution — including loops outside a nested function
+// literal, which the enclosing hot loop re-creates or re-invokes each
+// pass). A range expression and a for-init run once: nodes inside them do
+// not inherit that loop's iteration count.
+func stackInLoop(stack []ast.Node) bool {
+	for i, n := range stack {
+		var child ast.Node
+		if i+1 < len(stack) {
+			child = stack[i+1]
+		}
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if child == nil || child != loop.Init {
+				return true
+			}
+		case *ast.RangeStmt:
+			if child == nil || (child != loop.X && child != loop.Key && child != loop.Value) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ignoreSpans indexes every //vdce:ignore span naming rule across the load,
+// per file, as (firstLine, lastLine) line intervals. File-wide directives
+// cover the whole file.
+func ignoreSpans(prog *Program, rule string) map[string][][2]int {
+	out := map[string][][2]int{}
+	fset := prog.fset()
+	for _, pkg := range prog.Pkgs {
+		for _, sf := range pkg.Files {
+			for _, s := range parseSuppressions(fset, sf.AST) {
+				if !hasString(s.rules, rule) {
+					continue
+				}
+				span := [2]int{s.line, s.endLine}
+				if s.fileWide {
+					span = [2]int{1, int(^uint(0) >> 1)}
+				}
+				out[s.file] = append(out[s.file], span)
+			}
+		}
+	}
+	return out
+}
+
+// coveredBySpans reports whether pos falls inside one of the indexed spans.
+func coveredBySpans(spans map[string][][2]int, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, span := range spans[p.Filename] {
+		if p.Line >= span[0] && p.Line <= span[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasString reports whether s contains v (tiny slices; no allocation).
+func hasString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

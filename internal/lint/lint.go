@@ -265,7 +265,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				findings = append(findings, Finding{
 					Rule: suppressionRule,
 					Pos:  fset.Position(s.pos),
-					Msg:  fmt.Sprintf("//vdce:ignore names unknown rule %q (known: %s)", r, strings.Join(ruleNames(), ", ")),
+					Msg:  fmt.Sprintf("//vdce:ignore names unknown rule %q (known: %s)", r, strings.Join(RuleNames(), ", ")),
 				})
 			}
 		}
@@ -337,8 +337,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 }
 
 // Analyzers returns the full suite with repo-default configuration: the
-// per-package tier (PR 6) plus the interprocedural tier (detflow,
-// lockorder, unitflow) built on the call-graph engine.
+// per-package tier (PR 6), the interprocedural tier (detflow, lockorder,
+// unitflow) built on the call-graph engine, and the performance-contract
+// tier (allocflow) over the //vdce:hot cones.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapOrder(),
@@ -348,10 +349,14 @@ func Analyzers() []*Analyzer {
 		DetFlow(),
 		LockOrder(),
 		UnitFlow(),
+		AllocFlow(),
 	}
 }
 
-func ruleNames() []string {
+// RuleNames returns every rule a //vdce:ignore directive (or a -rules
+// filter) may name — the analyzers plus the "suppression" pseudo-rule —
+// sorted.
+func RuleNames() []string {
 	var out []string
 	for _, a := range Analyzers() {
 		out = append(out, a.Name)

@@ -1,0 +1,115 @@
+// Fixture for the allocflow analyzer: heap-allocation sources inside
+// //vdce:hot cones — in the root's own loops, on per-iteration paths in
+// callees (including CHA-resolved interface callees), and through every
+// flagged category — plus the sanctioned shapes (straight-line setup in a
+// root, certified amortized calls, cold functions) as true negatives.
+package allocflow
+
+import "fmt"
+
+var sink string
+
+// Host is a dense-indexed host row.
+type Host struct {
+	free []float64
+}
+
+// coster dispatches through an interface: the cone must follow CHA edges.
+type coster interface {
+	cost(k string) float64
+}
+
+// localCoster is the one in-load implementer.
+type localCoster struct {
+	m map[string]float64
+}
+
+func (c localCoster) cost(k string) float64 {
+	return c.m[k] // want "map read — prefer a dense index on a per-iteration hot path \(hot: allocflow.Sum\)"
+}
+
+// Sum is a hot root: straight-line code is setup, the loop is the contract.
+//
+//vdce:hot allocs=0
+func Sum(hosts []Host, col map[string]int, c coster) float64 {
+	defer release() // straight-line defer: open-coded, free
+	total := 0.0
+	acc := make([]float64, len(hosts)) // setup allocation outside the loop: fine
+	for i := range hosts {
+		acc[i] = perHost(&hosts[i])
+		buf := make([]float64, 4)           // want "heap allocation \(make\) in a hot loop \(hot: allocflow.Sum\)"
+		total += float64(col["x"]) + buf[0] // want "map read — prefer a dense index in a hot loop \(hot: allocflow.Sum\)"
+		total += c.cost("x")
+		msg := fmt.Sprint(i)        // want "variadic call allocates its argument slice in a hot loop" "interface conversion boxes int in a hot loop"
+		name := msg + "!"           // want "string concatenation allocates in a hot loop"
+		b := []byte(name)           // want "string/\[\]byte conversion copies and allocates in a hot loop"
+		iv := interface{}(hosts[i]) // want "interface conversion boxes allocflow.Host in a hot loop"
+		//vdce:ignore allocflow gather is certified amortized here: the cone walk must not descend through this call
+		total += gather(i)[0]
+		sink = name
+		_, _ = b, iv
+	}
+	return total + acc[0]
+}
+
+// Walk is a second hot root sharing perHost: findings there must name both
+// cones, sorted.
+//
+//vdce:hot
+func Walk(hosts []Host) {
+	for i := range hosts {
+		_ = perHost(&hosts[i])
+	}
+}
+
+// perHost is reached only through loops: even its straight-line allocation
+// runs once per hot iteration.
+func perHost(h *Host) float64 {
+	z := make([]float64, 1) // want "heap allocation \(make\) on a per-iteration hot path \(hot: allocflow.Sum, allocflow.Walk\)"
+	z[0] = h.free[0]
+	return z[0]
+}
+
+// Mutate exercises the remaining categories inside a syntactic hot loop.
+//
+//vdce:hot
+func Mutate(hosts []Host, m map[string]int) {
+	for i := range hosts {
+		s := []float64{1, 2}         // want "slice literal allocates in a hot loop \(hot: allocflow.Mutate\)"
+		mm := map[string]int{"a": 1} // want "map literal allocates in a hot loop"
+		h := &Host{}                 // want "&composite literal allocates in a hot loop"
+		p := new(Host)               // want "heap allocation \(new\) in a hot loop"
+		s = append(s, 3)             // want "append may grow its backing array in a hot loop"
+		m["k"] = i                   // want "map write — prefer a dense index in a hot loop"
+		delete(m, "k")               // want "map write — prefer a dense index in a hot loop"
+		for k := range mm {          // want "map iteration — prefer a dense index in a hot loop"
+			_ = k
+		}
+		fn := func() int { return i } // want "closure allocates in a hot loop"
+		defer release()               // want "defer heap-allocates its frame in a hot loop"
+		_, _, _, _ = s, h, p, fn
+	}
+}
+
+// gather allocates freely: the certified call site in Sum prunes it out of
+// the cone, so nothing here is flagged.
+func gather(i int) []float64 {
+	out := make([]float64, i+1)
+	for j := range out {
+		out[j] = float64(j)
+	}
+	return out
+}
+
+func release() {}
+
+// cold is outside every hot cone: allocation is unconstrained.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+var _ = cold

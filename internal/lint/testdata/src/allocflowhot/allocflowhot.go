@@ -1,0 +1,16 @@
+// Fixture for //vdce:hot directive hygiene: malformed budgets and
+// misplaced directives are allocflow findings. Expectations live in
+// TestHotDirectiveHygiene rather than want comments, because each finding
+// lands on the directive's own comment line.
+package allocflowhot
+
+//vdce:hot allocs=banana
+func BadBudget() {}
+
+//vdce:hot allocs
+func BadToken() {}
+
+// A directive that annotates nothing:
+//
+//vdce:hot
+var X = 1

@@ -79,6 +79,7 @@ func (n *Network) Path(a, b string) PathSpec {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	//vdce:ignore allocflow the path matrix is site-name-keyed by contract; sites number in the handfuls and the lookup is two probes with no allocation
 	if m, ok := n.paths[a]; ok {
 		if p, ok := m[b]; ok {
 			return p
@@ -149,6 +150,8 @@ func (n *Network) Sites() []string {
 // Nearest returns up to k other sites sorted by ascending latency from
 // `from`. This implements the Site Scheduler's "select k nearest VDCE
 // neighbor sites" step (Fig 4, step 2).
+//
+//vdce:ignore allocflow site selection runs once per Fig 4 walk: O(S log S) over a handful of sites, amortized across every task scheduled
 func (n *Network) Nearest(from string, k int) []string {
 	n.mu.RLock()
 	defer n.mu.RUnlock()

@@ -65,6 +65,8 @@ func NewCache() *Cache {
 // Generations returns a snapshot of every resource's current generation.
 // Resources never invalidated are at generation 0 and may be absent from
 // the map; Store treats a missing snapshot entry as 0.
+//
+//vdce:ignore allocflow generation snapshot, one host-keyed copy per site walk, amortized across every prediction the walk makes
 func (c *Cache) Generations() map[string]uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -14,7 +14,7 @@ import (
 	"repro/internal/workload"
 )
 
-func rankBenchSetup(b *testing.B) *CostMatrix {
+func rankBenchSetup(b testing.TB) *CostMatrix {
 	b.Helper()
 	req, _, _ := equivEnv(b, 1)
 	req.Graph = workload.Scale(1000, 25, 12, 42)

@@ -77,6 +77,9 @@ func commFromNames(net *netsim.Network, names []string) commModel {
 // upwardRanks computes rank_u(t) = w̄(t) + max over children of
 // (c̄(t, child) + rank_u(child)) — the length of the most expensive path
 // from t to an exit, in mean costs — as a dense slice over the matrix.
+// The one permitted allocation is the rank slice itself.
+//
+//vdce:hot allocs=1
 func upwardRanks(cm *CostMatrix, c commModel) []float64 {
 	ix := cm.ix
 	topo := ix.Topo()
@@ -114,6 +117,8 @@ func downwardRanks(cm *CostMatrix, c commModel) []float64 {
 
 // rankOrderDesc returns dense task indices by descending rank, index
 // (= ascending TaskID) on ties.
+//
+//vdce:ignore allocflow rank ordering runs once per schedule: the slice is the returned priority list and the sort closure lives for the O(V log V) call
 func rankOrderDesc(rank []float64) []int32 {
 	out := make([]int32, len(rank))
 	for i := range out {
@@ -144,7 +149,10 @@ type timeline struct {
 // fits the task. Spans ending at or before ready can neither host the gap
 // nor push the start, so the scan begins at the first span still live at
 // ready — found by binary search — instead of walking the whole timeline.
+//
+//vdce:hot allocs=0
 func (t *timeline) earliest(ready, dur float64) float64 {
+	//vdce:ignore allocflow the search closure captures only stack locals and does not escape sort.Search; the allocs=0 budget is enforced by AllocsPerRun
 	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].end > ready })
 	start := ready
 	for ; i < len(t.busy); i++ {
@@ -168,6 +176,8 @@ func (t *timeline) end() float64 {
 }
 
 // add reserves [start, end), keeping the interval list sorted.
+//
+//vdce:ignore allocflow one insertion per placement commit: the search closure is non-escaping and the interval list grows to the schedule's high-water mark, amortized
 func (t *timeline) add(start, end float64) {
 	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].start >= start })
 	t.busy = append(t.busy, span{})
@@ -196,6 +206,7 @@ type placement struct {
 	choiceBuf []Choice // scratch for the parallel placement path
 }
 
+//vdce:ignore allocflow per-schedule setup, O(V+H) once: the column probes intern host names and the seeded ledger spans are one-time
 func newPlacement(cm *CostMatrix, app string, net *netsim.Network, ledger *LoadLedger) *placement {
 	n := cm.ix.Len()
 	p := &placement{
@@ -232,6 +243,8 @@ func newPlacement(cm *CostMatrix, app string, net *netsim.Network, ledger *LoadL
 
 // line resolves a host name to its timeline: the dense column when the
 // matrix knows the host, a lazily created overflow line otherwise.
+//
+//vdce:ignore allocflow host-name interning: a dense hit is one probe, and the allocating overflow branch exists only for fallback hosts outside the matrix
 func (p *placement) line(host string) *timeline {
 	if c, ok := p.cm.col[host]; ok {
 		return &p.lines[c]
@@ -293,6 +306,7 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 	for _, b := range p.cm.blocks {
 		if b.fallback != nil {
 			c := b.fallback[t]
+			//vdce:ignore allocflow restrict is CPOP's host-name pin set (nil under HEFT): one probe per candidate, no allocation
 			if c.Host == "" || (restrict != nil && !restrict[c.Host]) {
 				continue
 			}
@@ -309,6 +323,7 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 				continue
 			}
 			host := p.cm.hosts[col].Host
+			//vdce:ignore allocflow restrict is CPOP's host-name pin set (nil under HEFT): one probe per candidate, no allocation
 			if restrict != nil && !restrict[host] {
 				continue
 			}
@@ -323,8 +338,10 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 		if restrict != nil {
 			return p.place(t, nil)
 		}
+		//vdce:ignore allocflow cold failure path: the error aborts the schedule
 		return fmt.Errorf("%w: %q", ErrNoEligibleHost, p.cm.ix.ID(t))
 	}
+	//vdce:ignore allocflow the committed host set is schedule output escaping into the allocation table: one allocation per task placed
 	p.commit(t, Assignment{
 		Task:      p.cm.ix.ID(t),
 		Site:      best.Site,
@@ -353,6 +370,8 @@ func (p *placement) consider(best *Choice, bestStart, bestFinish *float64, found
 // their last reservation — gaps rarely align across a whole machine set),
 // charge the slowest member's prediction split n ways, and pick the site
 // with the earliest finish.
+//
+//vdce:ignore allocflow parallel-mode placement is the rare multi-processor path: per-site grouping is site/host-name-keyed, bounded by one candidate row, and the chosen host set is schedule output
 func (p *placement) placeParallel(t int, task *afg.Task, restrict map[string]bool) error {
 	p.choiceBuf = p.cm.choices(t, p.choiceBuf[:0])
 	cands := p.choiceBuf
@@ -467,6 +486,8 @@ func (heftPolicy) Name() string { return "heft" }
 
 // Schedule implements Policy: upward-rank order, insertion-based earliest
 // finish placement.
+//
+//vdce:hot
 func (heftPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
 	_, cm, c, err := densePrep(req)
 	if err != nil {
@@ -496,6 +517,8 @@ func (cpopPolicy) Name() string { return "cpop" }
 // (the chain realising the maximum priority) is pinned to the host
 // minimising its total execution; everything else places by earliest
 // finish time in ready-set priority order.
+//
+//vdce:hot
 func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable, error) {
 	ix, cm, c, err := densePrep(req)
 	if err != nil {
@@ -514,10 +537,13 @@ func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger)
 	n := ix.Len()
 	pending := make([]int32, n)
-	var ready prioHeap
+	// One entry per task ever enters the heap; capacity n keeps Push
+	// growth-free.
+	ready := make(prioHeap, 0, n)
 	for i := 0; i < n; i++ {
 		pending[i] = int32(ix.NumParents(i))
 		if pending[i] == 0 {
+			//vdce:ignore allocflow appends into the capacity-n backing array made above: the bulk load never grows it
 			ready = append(ready, prioItem{prio[i], int32(i)})
 		}
 	}
@@ -527,6 +553,7 @@ func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 			return nil, err
 		}
 		if len(ready) == 0 {
+			//vdce:ignore allocflow cold failure path: the error aborts the schedule
 			return nil, fmt.Errorf("scheduler: ready set empty with %d tasks remaining", n-done)
 		}
 		t := int(ready.Pop().idx)
@@ -584,6 +611,8 @@ func criticalPath(ix *afg.Index, prio []float64) []bool {
 // every critical task, the one minimising the path's summed prediction
 // (most-covering, then cheapest, then name, when no host covers them all).
 // Returns a restrict set for placement, nil when there are no candidates.
+//
+//vdce:ignore allocflow critical-path host election runs once per CPOP schedule: the aggregation is host-name-keyed and bounded by (critical tasks x hosts)
 func criticalHost(cm *CostMatrix, cp []bool) map[string]bool {
 	type agg struct {
 		sum float64

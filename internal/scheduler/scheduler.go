@@ -46,6 +46,8 @@ func NewAllocationTable(app string) *AllocationTable {
 }
 
 // Set records an assignment.
+//
+//vdce:ignore allocflow the allocation table is the published id-keyed artifact (the JSON wire form the Site Manager multicasts); one probe plus an amortized append per placement committed
 func (t *AllocationTable) Set(a Assignment) {
 	if _, ok := t.Entries[a.Task]; !ok {
 		t.order = append(t.order, a.Task)
@@ -54,12 +56,16 @@ func (t *AllocationTable) Set(a Assignment) {
 }
 
 // Get returns the assignment for a task.
+//
+//vdce:ignore allocflow id-keyed boundary read; hot consumers (Simulate) resolve the table into dense arrays once up front
 func (t *AllocationTable) Get(id afg.TaskID) (Assignment, bool) {
 	a, ok := t.Entries[id]
 	return a, ok
 }
 
 // Order returns task ids in assignment order.
+//
+//vdce:ignore allocflow defensive copy, one allocation per call; callers take it once per table, not per task
 func (t *AllocationTable) Order() []afg.TaskID {
 	return append([]afg.TaskID(nil), t.order...)
 }
@@ -173,6 +179,8 @@ func (s *LocalSelector) SiteName() string { return s.Site }
 // selector's own view of its chosen host(s) — one queued-load unit in the
 // paper-faithful mode, an estimated host-free time in availability-aware
 // mode — so a wide application does not dog-pile the single best machine.
+//
+//vdce:ignore allocflow generic HostSelector form, invoked once per (site, schedule): walk state is host-keyed (sites hold few hosts) and the id-keyed output map is the interface contract — selectHostsDense is the allocation-policed twin
 func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error) {
 	// Generation snapshot BEFORE the repository read: a monitor update
 	// landing between List() and a Store() bumps the generation past the
@@ -240,11 +248,14 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 			continue
 		}
 		host := r.Static.HostName
+		//vdce:ignore allocflow queued and freeAt are host-keyed walk state (a site's hosts are few); the probes allocate nothing
 		pred := s.predictOn(task, r, queued[host], gens)
 		key := pred
 		if s.AvailabilityAware {
+			//vdce:ignore allocflow host-keyed walk state, one probe per candidate
 			key = freeAt[host] + pred
 		}
+		//vdce:ignore allocflow cands reuses the caller-owned scratch buf: growth amortizes across the walk and the steady state appends in place
 		cands = append(cands, scored{host, pred, key})
 	}
 	if len(cands) == 0 {
@@ -270,6 +281,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	if n > len(cands) {
 		n = len(cands)
 	}
+	//vdce:ignore allocflow the resulting host set is the one documented allocation per walk step: it outlives the walk inside the Choice
 	hosts := make([]string, n)
 	var maxPred, start float64
 	for i := 0; i < n; i++ {
@@ -277,6 +289,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		if cands[i].pred > maxPred {
 			maxPred = cands[i].pred
 		}
+		//vdce:ignore allocflow host-keyed walk state, one probe per selected host
 		if f := freeAt[cands[i].host]; f > start {
 			start = f
 		}
@@ -296,6 +309,7 @@ func (s *LocalSelector) eligible(task *afg.Task, r repository.ResourceRecord) bo
 	if task.MachineType != "" && r.Static.Arch != task.MachineType {
 		return false
 	}
+	//vdce:ignore allocflow the constraint database is name-keyed by contract (the paper's cut-through checks); one probe per candidate, no allocation
 	return s.Repo.Constraints.CanRun(task.Function, r.Static.HostName)
 }
 
@@ -304,6 +318,8 @@ func (s *LocalSelector) eligible(task *afg.Task, r repository.ResourceRecord) bo
 // name. Unlike SelectHosts it models no queueing — no queued-load bumps, no
 // free-time timeline — because the caller (HEFT/CPOP placement) prices
 // contention itself; the Forecast hook and prediction cache apply as usual.
+//
+//vdce:ignore allocflow map-keyed HostCoster compatibility form (the RPC selector contract), once per (site, schedule); the local hot path is denseHostCosts's contiguous slab
 func (s *LocalSelector) HostCosts(g *afg.Graph) (map[afg.TaskID][]Choice, error) {
 	var gens map[string]uint64
 	if s.Cache != nil {
@@ -344,6 +360,7 @@ func (s *LocalSelector) denseHostCosts(ix *afg.Index) ([]string, []float64, erro
 	if s.Cache != nil {
 		gens = s.Cache.Generations()
 	}
+	//vdce:ignore allocflow resource-list snapshot, one repository read per site walk
 	resources := s.Repo.Resources.List() // sorted by host name
 	hosts := make([]string, len(resources))
 	for k, r := range resources {
@@ -364,6 +381,7 @@ func (s *LocalSelector) denseHostCosts(ix *afg.Index) ([]string, []float64, erro
 			eligible++
 		}
 		if eligible == 0 {
+			//vdce:ignore allocflow cold failure path: the error aborts the whole site walk
 			return nil, nil, fmt.Errorf("task %q at site %s: %w", ix.ID(t), s.Site, ErrNoEligibleHost)
 		}
 	}
@@ -428,6 +446,7 @@ func (s *LocalSelector) selectHostsDense(g *afg.Graph) ([]Choice, error) {
 func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, queuedLoad float64, gens map[string]uint64) float64 {
 	var in predict.Inputs
 	if s.Cache == nil {
+		//vdce:ignore allocflow cache-off compatibility mode pays the repository probes per prediction by design; production walks install a Cache
 		in = s.assembleInputs(task, r)
 	} else {
 		key := predict.CacheKey{
@@ -437,7 +456,9 @@ func (s *LocalSelector) predictOn(task *afg.Task, r repository.ResourceRecord, q
 			Resource: r.Static.HostName,
 		}
 		var ok bool
+		//vdce:ignore allocflow the prediction cache is the amortizing boundary: a hit is one struct-keyed probe and no allocation
 		in, ok = s.Cache.Lookup(key)
+		//vdce:ignore allocflow the miss path assembles and stores once per (task kind, host, generation); every later prediction on the pair hits the cache
 		if !ok {
 			in = s.assembleInputs(task, r)
 			s.Cache.Store(key, in, gens[key.Resource])

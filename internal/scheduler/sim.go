@@ -42,6 +42,8 @@ type TimeModel func(task *afg.Task, host string) float64
 // All per-task state is slice-indexed through the graph's dense Index —
 // task and host identities resolve to integers once, up front, and the
 // event loop itself runs map-free.
+//
+//vdce:hot
 func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (float64, error) {
 	if g.Len() == 0 {
 		return 0, afg.ErrEmpty
@@ -56,6 +58,7 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 	for i := 0; i < n; i++ {
 		a, ok := table.Get(ix.ID(i))
 		if !ok {
+			//vdce:ignore allocflow cold failure path: the error is built once and aborts the simulation
 			return 0, fmt.Errorf("scheduler: task %q missing from allocation table", ix.ID(i))
 		}
 		assigns[i] = a
@@ -107,10 +110,13 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		return st
 	}
 
-	var q pq
+	// The event queue never holds more than one entry per task plus the
+	// in-flight lazy re-pushes; capacity n keeps Push growth-free.
+	q := make(pq, 0, n)
 	for i := 0; i < n; i++ {
 		pendingParents[i] = int32(ix.NumParents(i))
 		if pendingParents[i] == 0 {
+			//vdce:ignore allocflow appends into the capacity-n backing array made above: the bulk load never grows it
 			q = append(q, pqItem{i: int32(i)})
 		}
 	}
@@ -130,6 +136,7 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		a := assigns[it.i]
 		dur := model(ix.Task(int(it.i)), a.Host)
 		if dur < 0 || math.IsNaN(dur) || math.IsInf(dur, 0) {
+			//vdce:ignore allocflow cold failure path: the error is built once and aborts the simulation
 			return 0, fmt.Errorf("scheduler: invalid duration %v for task %q", dur, ix.ID(int(it.i)))
 		}
 		// Parallel tasks run across all hosts for duration/#hosts.
@@ -203,6 +210,7 @@ func effectiveHosts(a Assignment) []string {
 	if len(a.Hosts) > 0 {
 		return a.Hosts
 	}
+	//vdce:ignore allocflow the single-host literal usually stays on the stack (non-escaping callers); dense hot paths precompute hostCols instead
 	return []string{a.Host}
 }
 
