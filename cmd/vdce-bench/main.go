@@ -15,6 +15,13 @@
 // The RANKING experiment's grid is adjustable from the command line:
 //
 //	vdce-bench -exp RANKING -ranking-sizes 10,20,30 -ranking-ccrs 0.5,1,2 -ranking-graphs 1
+//	vdce-bench -exp RANKING -ranking-workers 8   # parallel grid, bit-identical results
+//
+// For the performance trajectory, -bench-out writes one BENCH_<ID>.json
+// per selected experiment ({bench, ns_per_op, allocs_per_op, commit, date};
+// commit from GITHUB_SHA, date from BENCH_DATE when CI sets them):
+//
+//	vdce-bench -exp RANKING -bench-out bench/
 package main
 
 import (
@@ -22,10 +29,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -65,6 +74,8 @@ func run() int {
 	rankSizes := flag.String("ranking-sizes", "", "RANKING grid task counts, comma-separated (empty = default grid)")
 	rankCCRs := flag.String("ranking-ccrs", "", "RANKING grid CCR values, comma-separated (empty = default grid)")
 	rankGraphs := flag.Int("ranking-graphs", 0, "RANKING graphs per grid cell (0 = default)")
+	rankWorkers := flag.Int("ranking-workers", 0, "RANKING worker-pool size; results are bit-identical for any value (0 = GOMAXPROCS, 1 = serial)")
+	benchOut := flag.String("bench-out", "", "directory for per-experiment BENCH_<ID>.json trajectory files (wall ns + allocs per run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -108,7 +119,7 @@ func run() int {
 			return experiments.PolicyComparisonFor(seed, names)
 		}
 	}
-	if *rankSizes != "" || *rankCCRs != "" || *rankGraphs > 0 {
+	if *rankSizes != "" || *rankCCRs != "" || *rankGraphs > 0 || *rankWorkers != 0 {
 		sizes, err := parseInts(*rankSizes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "-ranking-sizes: %v\n", err)
@@ -119,7 +130,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "-ranking-ccrs: %v\n", err)
 			return 2
 		}
-		graphs := *rankGraphs
+		graphs, workers := *rankGraphs, *rankWorkers
 		experimentFuncs["RANKING"] = func(seed int64) (*experiments.Result, error) {
 			cfg := experiments.DefaultRankingConfig(seed)
 			if len(sizes) > 0 {
@@ -131,6 +142,7 @@ func run() int {
 			if graphs > 0 {
 				cfg.GraphsPerCell = graphs
 			}
+			cfg.Workers = workers
 			return experiments.RankingWith(cfg)
 		}
 	}
@@ -152,11 +164,24 @@ func run() int {
 	failed := false
 	var jsonResults []resultJSON
 	for _, id := range ids {
+		var m0 runtime.MemStats
+		if *benchOut != "" {
+			runtime.ReadMemStats(&m0)
+		}
+		t0 := time.Now()
 		r, err := experimentFuncs[id](*seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			failed = true
 			continue
+		}
+		if *benchOut != "" {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			if err := writeBenchRecord(*benchOut, id, time.Since(t0).Nanoseconds(), m1.Mallocs-m0.Mallocs); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: bench-out: %v\n", id, err)
+				failed = true
+			}
 		}
 		if *jsonOut {
 			jsonResults = append(jsonResults, resultJSON{
@@ -189,6 +214,42 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// benchRecord is one point of the performance trajectory: the wall time
+// and allocation count of a single experiment run, stamped with the commit
+// and date so the committed BENCH_*.json files graph across history.
+type benchRecord struct {
+	Bench       string `json:"bench"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	Commit      string `json:"commit"`
+	Date        string `json:"date"`
+}
+
+// writeBenchRecord writes dir/BENCH_<id>.json. The commit comes from
+// GITHUB_SHA and the date from BENCH_DATE — both set by the CI workflow —
+// with a local-clock fallback so ad-hoc runs still produce usable points.
+func writeBenchRecord(dir, id string, ns int64, allocs uint64) error {
+	date := os.Getenv("BENCH_DATE")
+	if date == "" {
+		date = time.Now().UTC().Format(time.RFC3339)
+	}
+	rec := benchRecord{
+		Bench:       id,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		Commit:      os.Getenv("GITHUB_SHA"),
+		Date:        date,
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+id+".json"), append(data, '\n'), 0o644)
 }
 
 // resultJSON is one experiment's machine-readable form: the series columns

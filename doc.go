@@ -61,6 +61,19 @@
 // (9 policies × 6×1000-task graphs × 32 sites): ~5× faster with ~92%
 // fewer allocations; README.md carries the before/after table.
 //
+// On top of the dense core, per-schedule working state — rank vectors,
+// heap backing arrays, host timelines and their span slabs, the
+// simulator's event-loop state — is recycled through a pooled scratch
+// arena (internal/scheduler/scratch.go documents the pooling contract:
+// schedule output is never pooled, every pooled buffer is overwritten or
+// explicitly reset, scratch is function-scoped). The RANKING grid
+// parallelizes over (size, CCR, graph) cells with a bounded worker pool
+// (RankingConfig.Workers, vdce-bench -ranking-workers) whose results are
+// bit-identical to the serial run for any worker count — each cell seeds
+// its own environment and RNG. The XL scale point, BenchmarkXLSchedule,
+// schedules a 100k-task DAG across 1000 hosts (8 sites × 125) in one
+// HEFT pass; a scheduled CI job tracks it weekly without gating merges.
+//
 // See README.md for the architecture overview, the policy table, the
 // per-experiment index, and how to run the benchmarks. The root-level
 // bench_test.go wraps each experiment in a testing.B benchmark.

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -22,7 +23,12 @@ import (
 )
 
 func main() {
-	res, err := experiments.Ranking(1)
+	workers := flag.Int("workers", 0, "grid worker-pool size; results are bit-identical for any value (0 = GOMAXPROCS, 1 = serial)")
+	flag.Parse()
+
+	cfg := experiments.DefaultRankingConfig(1)
+	cfg.Workers = *workers
+	res, err := experiments.RankingWith(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -116,11 +116,18 @@ var (
 
 // New returns an empty application flow graph.
 func New(name string) *Graph {
+	return NewSized(name, 0)
+}
+
+// NewSized is New with a task-count capacity hint for bulk construction
+// (generators, graph merges): the id-keyed maps are sized up front, so
+// building a large graph skips the incremental rehash growth.
+func NewSized(name string, tasks int) *Graph {
 	return &Graph{
 		Name:  name,
-		tasks: make(map[TaskID]*Task),
-		succ:  make(map[TaskID][]Link),
-		pred:  make(map[TaskID][]Link),
+		tasks: make(map[TaskID]*Task, tasks),
+		succ:  make(map[TaskID][]Link, tasks),
+		pred:  make(map[TaskID][]Link, tasks),
 	}
 }
 

@@ -88,7 +88,7 @@ func (p Params) withDefaults() Params {
 func Random(p Params) *afg.Graph {
 	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
-	g := afg.New(fmt.Sprintf("dagen-v%d-ccr%g-a%g", p.Tasks, p.CCR, p.Alpha))
+	g := afg.NewSized(fmt.Sprintf("dagen-v%d-ccr%g-a%g", p.Tasks, p.CCR, p.Alpha), p.Tasks)
 
 	v := p.Tasks
 	ids := make([]afg.TaskID, v)
@@ -238,7 +238,7 @@ func Scale(tasks, width, kinds int, seed int64) *afg.Graph {
 			bytes: int64(1+rng.Intn(16)) << 10,
 		}
 	}
-	g := afg.New(fmt.Sprintf("scale-%d", tasks))
+	g := afg.NewSized(fmt.Sprintf("scale-%d", tasks), tasks)
 	var prev []afg.TaskID
 	for made := 0; made < tasks; {
 		n := width

@@ -30,7 +30,11 @@ func mergeForSimulation(graphs []*afg.Graph, items []scheduler.BatchItem) (*afg.
 // graph). Split from the table merge so harnesses replaying many policies
 // over one batch build the union — and its dense index — once.
 func mergeGraphs(graphs []*afg.Graph) (*afg.Graph, error) {
-	merged := afg.New("combined")
+	total := 0
+	for _, g := range graphs {
+		total += g.Len()
+	}
+	merged := afg.NewSized("combined", total)
 	for gi, g := range graphs {
 		prefix := fmt.Sprintf("g%02d/", gi)
 		for _, id := range g.TaskIDs() {
@@ -58,7 +62,11 @@ func mergeGraphs(graphs []*afg.Graph) (*afg.Graph, error) {
 // mergeTables folds the batch's per-graph allocation tables onto the
 // union graph's prefixed task ids.
 func mergeTables(graphs []*afg.Graph, items []scheduler.BatchItem) (*scheduler.AllocationTable, error) {
-	table := scheduler.NewAllocationTable("combined")
+	total := 0
+	for _, g := range graphs {
+		total += g.Len()
+	}
+	table := scheduler.NewAllocationTableSized("combined", total)
 	for gi := range graphs {
 		if items[gi].Err != nil {
 			return nil, fmt.Errorf("graph %d: %w", gi, items[gi].Err)

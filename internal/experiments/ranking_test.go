@@ -2,10 +2,12 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/scheduler"
@@ -173,5 +175,40 @@ func TestRankingGolden(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Log("behavior drifted from the golden run; if the change is intended, re-bless with: go test ./internal/experiments -run RankingGolden -update")
+	}
+}
+
+// TestRankingWorkersDeterminism holds the parallel grid to its bit-identity
+// contract: Workers = 1, 4, and NumCPU must produce byte-identical cell
+// slices — and therefore byte-identical golden-file output, which is also
+// checked against the committed file so the contract is anchored to the
+// same artifact TestRankingGolden blesses.
+func TestRankingWorkersDeterminism(t *testing.T) {
+	encode := func(workers int) []byte {
+		t.Helper()
+		cfg := goldenConfig()
+		cfg.Workers = workers
+		cells, names, err := RankingCells(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		data, err := json.MarshalIndent(rankingGolden{Policies: names, Cells: cells}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := encode(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := encode(w); !bytes.Equal(got, serial) {
+			t.Fatalf("workers=%d cells differ from the serial run", w)
+		}
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "ranking_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestRankingGolden with -update to create it)", err)
+	}
+	if !bytes.Equal(append(serial, '\n'), want) {
+		t.Fatal("serial cells differ from the committed golden file; re-bless with -update if intended")
 	}
 }

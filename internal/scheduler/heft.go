@@ -77,13 +77,15 @@ func commFromNames(net *netsim.Network, names []string) commModel {
 // upwardRanks computes rank_u(t) = w̄(t) + max over children of
 // (c̄(t, child) + rank_u(child)) — the length of the most expensive path
 // from t to an exit, in mean costs — as a dense slice over the matrix.
-// The one permitted allocation is the rank slice itself.
+// The rank vector is written into buf (grown only until its capacity
+// reaches the graph size), so a warm scratch makes the sweep
+// allocation-free; every element is overwritten before it is read.
 //
-//vdce:hot allocs=1
-func upwardRanks(cm *CostMatrix, c commModel) []float64 {
+//vdce:hot allocs=0
+func upwardRanks(cm *CostMatrix, c commModel, buf []float64) []float64 {
 	ix := cm.ix
 	topo := ix.Topo()
-	rank := make([]float64, ix.Len())
+	rank := grow(buf, ix.Len())
 	for k := len(topo) - 1; k >= 0; k-- {
 		i := topo[k]
 		var best float64
@@ -98,10 +100,11 @@ func upwardRanks(cm *CostMatrix, c commModel) []float64 {
 }
 
 // downwardRanks computes rank_d(t) = max over parents of
-// (rank_d(parent) + w̄(parent) + c̄(parent, t)); entry tasks rank 0.
-func downwardRanks(cm *CostMatrix, c commModel) []float64 {
+// (rank_d(parent) + w̄(parent) + c̄(parent, t)); entry tasks rank 0. Like
+// upwardRanks, the vector reuses buf and every element is overwritten.
+func downwardRanks(cm *CostMatrix, c commModel, buf []float64) []float64 {
 	ix := cm.ix
-	rank := make([]float64, ix.Len())
+	rank := grow(buf, ix.Len())
 	for _, i := range ix.Topo() {
 		var best float64
 		for _, a := range ix.Parents(int(i)) {
@@ -115,12 +118,12 @@ func downwardRanks(cm *CostMatrix, c commModel) []float64 {
 	return rank
 }
 
-// rankOrderDesc returns dense task indices by descending rank, index
-// (= ascending TaskID) on ties.
+// rankOrderDesc fills buf with dense task indices by descending rank,
+// index (= ascending TaskID) on ties, and returns it (grown when short).
 //
-//vdce:ignore allocflow rank ordering runs once per schedule: the slice is the returned priority list and the sort closure lives for the O(V log V) call
-func rankOrderDesc(rank []float64) []int32 {
-	out := make([]int32, len(rank))
+//vdce:ignore allocflow rank ordering runs once per schedule: the sort closure lives for the O(V log V) call and the index buffer is pooled scratch
+func rankOrderDesc(rank []float64, buf []int32) []int32 {
+	out := grow(buf, len(rank))
 	for i := range out {
 		out[i] = int32(i)
 	}
@@ -204,21 +207,44 @@ type placement struct {
 	table  *AllocationTable
 
 	choiceBuf []Choice // scratch for the parallel placement path
+
+	// hostSlab backs the committed single-host sets. It is schedule
+	// OUTPUT — the carved sets escape into the allocation table — so it is
+	// allocated fresh per placement and never returned to the pool.
+	hostSlab []string
+
+	blockReady  []float64 // per-site-block data-ready memo for the current task
+	parentHosts []string  // hosts of the current task's byte-carrying placed parents
 }
 
-//vdce:ignore allocflow per-schedule setup, O(V+H) once: the column probes intern host names and the seeded ledger spans are one-time
-func newPlacement(cm *CostMatrix, app string, net *netsim.Network, ledger *LoadLedger) *placement {
+// newPlacement wires the placement state onto sc's pooled buffers. The
+// timelines, columns, and per-task vectors are scratch (contract 2 in
+// scratch.go: siteOf and hostSets are reset, finish is gated by the site
+// marker); the table and hostSlab are output and allocated fresh.
+//
+//vdce:ignore allocflow per-schedule setup, O(V+H) once: the output slab and the seeded ledger spans are one-time, the rest is pooled scratch
+func newPlacement(cm *CostMatrix, app string, net *netsim.Network, ledger *LoadLedger, sc *scratch) *placement {
 	n := cm.ix.Len()
+	sc.lines = growTimelines(sc.lines, len(cm.hosts))
+	sc.canon = grow(sc.canon, len(cm.hosts))
+	sc.finish = grow(sc.finish, n)         // gated by site == "" before reads
+	sc.siteOf = growZero(sc.siteOf, n)     // "" = unplaced marker must reset
+	sc.hostSets = growZero(sc.hostSets, n) // drop the prior schedule's refs
+	sc.blockReady = grow(sc.blockReady, len(cm.blocks))
 	p := &placement{
-		cm:     cm,
-		net:    net,
-		ledg:   ledger,
-		lines:  make([]timeline, len(cm.hosts)),
-		canon:  make([]int32, len(cm.hosts)),
-		finish: make([]float64, n),
-		site:   make([]string, n),
-		hosts:  make([][]string, n),
-		table:  NewAllocationTable(app),
+		cm:          cm,
+		net:         net,
+		ledg:        ledger,
+		lines:       sc.lines,
+		canon:       sc.canon,
+		finish:      sc.finish,
+		site:        sc.siteOf,
+		hosts:       sc.hostSets,
+		table:       NewAllocationTableSized(app, n),
+		choiceBuf:   sc.choiceBuf,
+		hostSlab:    make([]string, n),
+		blockReady:  sc.blockReady,
+		parentHosts: sc.parentHosts,
 	}
 	// A host NAME owns one timeline, however many sites offer it (the
 	// map-keyed path keyed timelines by name): every column resolves to
@@ -265,6 +291,16 @@ func (p *placement) line(host string) *timeline {
 	return t
 }
 
+// releaseScratch hands the placement's pooled buffers back to sc so any
+// growth is retained for the next schedule. The table and hostSlab are
+// schedule output and are never returned. Call before sc.release().
+func (p *placement) releaseScratch(sc *scratch) {
+	sc.lines, sc.canon = p.lines, p.canon
+	sc.finish, sc.siteOf, sc.hostSets = p.finish, p.site, p.hosts
+	sc.blockReady, sc.parentHosts = p.blockReady, p.parentHosts
+	sc.choiceBuf = p.choiceBuf
+}
+
 // readyAt is the data-ready time of task t on the given host set at site:
 // every scheduled parent's estimated finish, plus the inter-site transfer
 // unless a host is shared with the parent.
@@ -287,6 +323,63 @@ func (p *placement) readyAt(t int, site string, hosts []string) float64 {
 	return ready
 }
 
+// readyAtBase is readyAt with no candidate host set: the transfer is
+// charged for every byte-carrying placed parent. Bit-identical to readyAt
+// whenever the candidate shares no host with any such parent — the same
+// float operations fold in the same order.
+func (p *placement) readyAtBase(t int, site string) float64 {
+	var ready float64
+	for _, a := range p.cm.ix.Parents(t) {
+		if p.site[a.Peer] == "" {
+			continue
+		}
+		arrive := p.finish[a.Peer]
+		if p.net != nil && a.Bytes > 0 {
+			arrive += p.net.TransferTime(p.site[a.Peer], site, a.Bytes).Seconds()
+		}
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready
+}
+
+// prepReady memoises, per dense site block, the current task's data-ready
+// time assuming no host sharing, and collects the hosts of byte-carrying
+// placed parents. Inside a block every host sees the same transfer terms
+// except the few appearing in a parent's host set (a zero-byte parent's
+// sharing never changes readyAt), so only those fall back to the full
+// recompute. This is the cache-blocked CostMatrix traversal: the
+// O(parents) TransferTime walk runs once per (task, site block) instead of
+// once per (task, host) — O(S·P) against the former O(H·P) — which
+// profiled far better at 1000 hosts than an indexed O(log H) structure,
+// whose per-host heterogeneous ready times defeat any shared ordering.
+func (p *placement) prepReady(t int) {
+	p.parentHosts = p.parentHosts[:0]
+	for _, a := range p.cm.ix.Parents(t) {
+		if a.Bytes > 0 && p.site[a.Peer] != "" {
+			//vdce:ignore allocflow appends into pooled scratch: the parent host list reaches the schedule's high-water mark and stays
+			p.parentHosts = append(p.parentHosts, p.hosts[a.Peer]...)
+		}
+	}
+	for bi := range p.cm.blocks {
+		if p.cm.blocks[bi].fallback != nil {
+			continue // single candidate per block: memoising buys nothing
+		}
+		p.blockReady[bi] = p.readyAtBase(t, p.cm.blocks[bi].name)
+	}
+}
+
+// hostIn is a linear probe over the (tiny) parent host list.
+func hostIn(hosts []string, h string) bool {
+	for _, x := range hosts {
+		if x == h {
+			return true
+		}
+	}
+	return false
+}
+
 // place schedules one task on the candidate minimising insertion-based
 // earliest finish time, walking the matrix row in deterministic site/host
 // order. restrict, when non-nil, limits the hosts considered (CPOP's
@@ -302,8 +395,9 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 	bestFinish := math.Inf(1)
 	found := false
 	var hostBuf [1]string
+	p.prepReady(t)
 	row := p.cm.row(t)
-	for _, b := range p.cm.blocks {
+	for bi, b := range p.cm.blocks {
 		if b.fallback != nil {
 			c := b.fallback[t]
 			//vdce:ignore allocflow restrict is CPOP's host-name pin set (nil under HEFT): one probe per candidate, no allocation
@@ -317,6 +411,7 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 				Choice{Site: c.Site, Host: c.Host, Predicted: c.Predicted}, start)
 			continue
 		}
+		base := p.blockReady[bi]
 		for col := b.col0; col < b.col1; col++ {
 			pr := row[col]
 			if math.IsNaN(pr) {
@@ -327,8 +422,11 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 			if restrict != nil && !restrict[host] {
 				continue
 			}
-			hostBuf[0] = host
-			ready := p.readyAt(t, b.name, hostBuf[:])
+			ready := base
+			if hostIn(p.parentHosts, host) {
+				hostBuf[0] = host
+				ready = p.readyAt(t, b.name, hostBuf[:])
+			}
 			start := p.lines[p.canon[col]].earliest(ready, pr)
 			p.consider(&best, &bestStart, &bestFinish, &found,
 				Choice{Site: b.name, Host: host, Predicted: pr}, start)
@@ -341,12 +439,17 @@ func (p *placement) place(t int, restrict map[string]bool) error {
 		//vdce:ignore allocflow cold failure path: the error aborts the schedule
 		return fmt.Errorf("%w: %q", ErrNoEligibleHost, p.cm.ix.ID(t))
 	}
-	//vdce:ignore allocflow the committed host set is schedule output escaping into the allocation table: one allocation per task placed
+	// The committed host set is carved from hostSlab (schedule output; see
+	// the placement struct): a full-capacity reslice, so the set can never
+	// grow into its neighbour.
+	hosts := p.hostSlab[:1:1]
+	p.hostSlab = p.hostSlab[1:]
+	hosts[0] = best.Host
 	p.commit(t, Assignment{
 		Task:      p.cm.ix.ID(t),
 		Site:      best.Site,
 		Host:      best.Host,
-		Hosts:     []string{best.Host},
+		Hosts:     hosts,
 		Predicted: best.Predicted,
 	}, bestStart, bestFinish)
 	return nil
@@ -493,9 +596,13 @@ func (heftPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 	if err != nil {
 		return nil, err
 	}
-	rank := upwardRanks(cm, c)
-	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger)
-	for _, t := range rankOrderDesc(rank) {
+	sc := getScratch()
+	defer sc.release()
+	sc.rankU = upwardRanks(cm, c, sc.rankU)
+	sc.order = rankOrderDesc(sc.rankU, sc.order)
+	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger, sc)
+	defer p.releaseScratch(sc)
+	for _, t := range sc.order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -524,22 +631,28 @@ func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 	if err != nil {
 		return nil, err
 	}
-	up := upwardRanks(cm, c)
-	down := downwardRanks(cm, c)
-	prio := up
+	sc := getScratch()
+	defer sc.release()
+	sc.rankU = upwardRanks(cm, c, sc.rankU)
+	sc.rankD = downwardRanks(cm, c, sc.rankD)
+	prio := sc.rankU
 	for i := range prio {
-		prio[i] += down[i]
+		prio[i] += sc.rankD[i]
 	}
 
-	cp := criticalPath(ix, prio)
+	sc.cp = criticalPath(ix, prio, sc.cp)
+	cp := sc.cp
 	restrict := criticalHost(cm, cp)
 
-	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger)
+	p := newPlacement(cm, req.Graph.Name, req.Net, req.Config.Ledger, sc)
+	defer p.releaseScratch(sc)
 	n := ix.Len()
-	pending := make([]int32, n)
+	sc.pending = grow(sc.pending, n) // fully written by the init loop below
+	pending := sc.pending
 	// One entry per task ever enters the heap; capacity n keeps Push
 	// growth-free.
-	ready := make(prioHeap, 0, n)
+	sc.heap = grow(sc.heap, n)
+	ready := prioHeap(sc.heap[:0])
 	for i := 0; i < n; i++ {
 		pending[i] = int32(ix.NumParents(i))
 		if pending[i] == 0 {
@@ -577,9 +690,10 @@ func (cpopPolicy) Schedule(ctx context.Context, req *Request) (*AllocationTable,
 
 // criticalPath walks one maximum-priority chain from the highest-priority
 // entry task to an exit: at every step the child whose priority is largest
-// (the critical child) extends the path. cp[i] marks membership.
-func criticalPath(ix *afg.Index, prio []float64) []bool {
-	cp := make([]bool, ix.Len())
+// (the critical child) extends the path. cp[i] marks membership; buf is
+// pooled scratch and must be zeroed, because only members are written.
+func criticalPath(ix *afg.Index, prio []float64, buf []bool) []bool {
+	cp := growZero(buf, ix.Len())
 	cur := -1
 	best := math.Inf(-1)
 	for i := 0; i < ix.Len(); i++ {

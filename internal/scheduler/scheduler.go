@@ -45,6 +45,18 @@ func NewAllocationTable(app string) *AllocationTable {
 	return &AllocationTable{App: app, Entries: make(map[afg.TaskID]Assignment)}
 }
 
+// NewAllocationTableSized is NewAllocationTable with a capacity hint:
+// callers that know the task count up front (dense placement, table
+// merges) size the map and order slice once instead of growing them
+// assignment by assignment.
+func NewAllocationTableSized(app string, n int) *AllocationTable {
+	return &AllocationTable{
+		App:     app,
+		Entries: make(map[afg.TaskID]Assignment, n),
+		order:   make([]afg.TaskID, 0, n),
+	}
+}
+
 // Set records an assignment.
 //
 //vdce:ignore allocflow the allocation table is the published id-keyed artifact (the JSON wire form the Site Manager multicasts); one probe plus an amortized append per placement committed
@@ -205,11 +217,14 @@ func (s *LocalSelector) SelectHosts(g *afg.Graph) (map[afg.TaskID]Choice, error)
 	}
 	out := make(map[afg.TaskID]Choice, g.Len())
 	var buf []scored
+	// One host-name slab backs every sequential task's committed host set
+	// (schedule output): one allocation per walk instead of one per task.
+	slab := make([]string, g.Len())
 	for _, id := range prio(g.TaskIDs(), levels) {
 		task := g.Task(id)
 		var choice Choice
 		var finish float64
-		choice, finish, buf, err = s.selectFor(task, resources, queued, freeAt, gens, buf)
+		choice, finish, buf, slab, err = s.selectFor(task, resources, queued, freeAt, gens, buf, slab)
 		if err != nil {
 			return nil, fmt.Errorf("task %q at site %s: %w", id, s.Site, err)
 		}
@@ -238,10 +253,11 @@ type scored struct {
 // availability-aware mode — plus the estimated finish of the choice.
 // Parallel tasks select task.Processors machines (the paper's "the host
 // selection algorithm is updated to select the number of machines required
-// within the site"). buf is a caller-owned scratch slice, returned (maybe
-// grown) for reuse across the walk: one site-walk step allocates nothing
-// but the resulting host set.
-func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued, freeAt map[string]float64, gens map[string]uint64, buf []scored) (Choice, float64, []scored, error) {
+// within the site"). buf is a caller-owned scratch slice and slab a
+// caller-owned host-name arena for the committed sets, both returned
+// (maybe consumed or grown) for reuse across the walk: the steady-state
+// sequential walk step allocates nothing at all.
+func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.ResourceRecord, queued, freeAt map[string]float64, gens map[string]uint64, buf []scored, slab []string) (Choice, float64, []scored, []string, error) {
 	cands := buf[:0]
 	for _, r := range resources {
 		if !s.eligible(task, r) {
@@ -259,20 +275,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 		cands = append(cands, scored{host, pred, key})
 	}
 	if len(cands) == 0 {
-		return Choice{}, 0, cands, ErrNoEligibleHost
-	}
-	// Insertion sort by (key, host): candidate lists are a site's host
-	// count — small — and the closure-free sort keeps the walk allocation-
-	// free. The (key, host) pair is a strict total order (host names are
-	// unique), so the result matches any comparison sort.
-	for i := 1; i < len(cands); i++ {
-		c := cands[i]
-		j := i - 1
-		for j >= 0 && (cands[j].key > c.key || (cands[j].key == c.key && cands[j].host > c.host)) {
-			cands[j+1] = cands[j]
-			j--
-		}
-		cands[j+1] = c
+		return Choice{}, 0, cands, slab, ErrNoEligibleHost
 	}
 	n := task.Processors
 	if task.Mode != afg.Parallel {
@@ -281,8 +284,31 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	if n > len(cands) {
 		n = len(cands)
 	}
-	//vdce:ignore allocflow the resulting host set is the one documented allocation per walk step: it outlives the walk inside the Choice
-	hosts := make([]string, n)
+	// Partial selection by (key, host): only the n winners matter, so each
+	// of the n rounds swaps the minimum of the remainder into place —
+	// O(n·C) against the former full insertion sort's O(C²), and n is 1
+	// for every sequential task. The (key, host) pair is a strict total
+	// order (host names are unique), so the selected prefix and its order
+	// are identical to any comparison sort of the whole candidate list.
+	for i := 0; i < n; i++ {
+		m := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].key < cands[m].key || (cands[j].key == cands[m].key && cands[j].host < cands[m].host) {
+				m = j
+			}
+		}
+		cands[i], cands[m] = cands[m], cands[i]
+	}
+	var hosts []string
+	if n == 1 && len(slab) > 0 {
+		// Carve the single-host set from the caller's slab: full-capacity
+		// reslice, so the committed set can never grow into its neighbour.
+		hosts = slab[:1:1]
+		slab = slab[1:]
+	} else {
+		//vdce:ignore allocflow parallel machine sets (and a drained slab) are the rare path; the set is schedule output escaping inside the Choice
+		hosts = make([]string, n)
+	}
 	var maxPred, start float64
 	for i := 0; i < n; i++ {
 		hosts[i] = cands[i].host
@@ -297,7 +323,7 @@ func (s *LocalSelector) selectFor(task *afg.Task, resources []repository.Resourc
 	// Parallel-mode prediction: the slowest selected machine bounds each
 	// share; an ideal row split divides the work n ways.
 	pred := maxPred / float64(n)
-	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, cands, nil
+	return Choice{Site: s.Site, Host: hosts[0], Hosts: hosts, Predicted: pred}, start + pred, cands, slab, nil
 }
 
 // eligible applies the Fig 5 resource filters: the host is up, matches the
@@ -415,14 +441,21 @@ func (s *LocalSelector) selectHostsDense(g *afg.Graph) ([]Choice, error) {
 	if s.AvailabilityAware && s.Ledger != nil {
 		freeAt = s.Ledger.Snapshot()
 	}
-	out := make([]Choice, ix.Len())
-	var buf []scored
-	for _, t := range rankOrderDesc(ix.Levels()) {
+	sc := getScratch()
+	defer sc.release()
+	out := make([]Choice, ix.Len()) // schedule output
+	sc.order = rankOrderDesc(ix.Levels(), sc.order)
+	// One host-name slab backs every sequential task's committed host set
+	// (schedule output): one allocation per walk instead of one per task.
+	slab := make([]string, ix.Len())
+	buf := sc.scored
+	for _, t := range sc.order {
 		task := ix.Task(int(t))
 		var choice Choice
 		var finish float64
-		choice, finish, buf, err = s.selectFor(task, resources, queued, freeAt, gens, buf)
+		choice, finish, buf, slab, err = s.selectFor(task, resources, queued, freeAt, gens, buf, slab)
 		if err != nil {
+			sc.scored = buf
 			return nil, fmt.Errorf("task %q at site %s: %w", ix.ID(int(t)), s.Site, err)
 		}
 		for _, h := range choice.Hosts {
@@ -434,6 +467,7 @@ func (s *LocalSelector) selectHostsDense(g *afg.Graph) ([]Choice, error) {
 		}
 		out[t] = choice
 	}
+	sc.scored = buf
 	return out, nil
 }
 

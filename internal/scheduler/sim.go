@@ -53,7 +53,13 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		return 0, err
 	}
 	n := ix.Len()
-	assigns := make([]Assignment, n)
+	// All event-loop state is pooled scratch (scratch.go): the columns and
+	// bulk loads are fully overwritten, the host-free and data-ready
+	// vectors are growZero-reset because the loop folds maxima into them.
+	sc := getScratch()
+	defer sc.release()
+	sc.assigns = grow(sc.assigns, n)
+	assigns := sc.assigns
 	total := 0
 	for i := 0; i < n; i++ {
 		a, ok := table.Get(ix.ID(i))
@@ -68,9 +74,16 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 			total++
 		}
 	}
-	hostCols := make([][]int32, n)   // dense host columns per task
-	hostCol := map[string]int32{}    // host name -> dense column
-	colArena := make([]int32, total) // one backing array for every entry
+	sc.hostCols = grow(sc.hostCols, n)
+	hostCols := sc.hostCols // dense host columns per task
+	if sc.hostCol == nil {
+		sc.hostCol = map[string]int32{}
+	} else {
+		clear(sc.hostCol)
+	}
+	hostCol := sc.hostCol // host name -> dense column
+	sc.colArena = grow(sc.colArena, total)
+	colArena := sc.colArena // one backing array for every entry; sc keeps the head
 	colFor := func(h string) int32 {
 		c, ok := hostCol[h]
 		if !ok {
@@ -96,9 +109,12 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 		hostCols[i] = cols
 	}
 
-	hostFree := make([]float64, len(hostCol)) // column -> time host is free
-	pendingParents := make([]int32, n)        // unfinished-parent counts
-	dataReady := make([]float64, n)           // max over finished parents of arrival time
+	sc.hostFree = growZero(sc.hostFree, len(hostCol))
+	hostFree := sc.hostFree // column -> time host is free
+	sc.pending = grow(sc.pending, n)
+	pendingParents := sc.pending // unfinished-parent counts (bulk-loaded below)
+	sc.dataReady = growZero(sc.dataReady, n)
+	dataReady := sc.dataReady // max over finished parents of arrival time
 
 	// startOf is the earliest time task i can begin given the current host
 	// timeline. Valid only once all parents have finished (dataReady final).
@@ -112,7 +128,8 @@ func Simulate(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim
 
 	// The event queue never holds more than one entry per task plus the
 	// in-flight lazy re-pushes; capacity n keeps Push growth-free.
-	q := make(pq, 0, n)
+	sc.simHeap = grow(sc.simHeap, n)
+	q := pq(sc.simHeap[:0])
 	for i := 0; i < n; i++ {
 		pendingParents[i] = int32(ix.NumParents(i))
 		if pendingParents[i] == 0 {
