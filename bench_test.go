@@ -108,3 +108,11 @@ func BenchmarkLedgerScheduling(b *testing.B) {
 func BenchmarkPolicyComparison(b *testing.B) {
 	runExperiment(b, experiments.PolicyComparison)
 }
+
+// BenchmarkChurn — seeded host-churn fault injection: every registered
+// frontier re-planner (heft rescan, eft patch, dup hedging) scored by mean
+// makespan degradation vs the fault-free run over the dagen grid. Headline
+// metrics are degradation_<replanner> plus reschedule/kill counters.
+func BenchmarkChurn(b *testing.B) {
+	runExperiment(b, experiments.Churn)
+}

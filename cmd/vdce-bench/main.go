@@ -17,6 +17,11 @@
 //	vdce-bench -exp RANKING -ranking-sizes 10,20,30 -ranking-ccrs 0.5,1,2 -ranking-graphs 1
 //	vdce-bench -exp RANKING -ranking-workers 8   # parallel grid, bit-identical results
 //
+// So is the CHURN fault-injection sweep:
+//
+//	vdce-bench -exp CHURN -churn-sizes 20,40 -churn-ccrs 0.5,2 -churn-graphs 2
+//	vdce-bench -exp CHURN -churn-replanners eft,dup -churn-threshold 2 -churn-workers 8
+//
 // For the performance trajectory, -bench-out writes one BENCH_<ID>.json
 // per selected experiment ({bench, ns_per_op, allocs_per_op, commit, date};
 // commit from GITHUB_SHA, date from BENCH_DATE when CI sets them):
@@ -53,10 +58,11 @@ var experimentFuncs = map[string]func(int64) (*experiments.Result, error){
 	"LEDGER":    experiments.AvailabilityScheduling,
 	"POLICY":    experiments.PolicyComparison,
 	"RANKING":   experiments.Ranking,
+	"CHURN":     experiments.Churn,
 }
 
 var experimentOrder = []string{
-	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER", "POLICY", "RANKING",
+	"FIG1", "FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "TAB-PRED", "TAB-SCHED", "SCALE", "LEDGER", "POLICY", "RANKING", "CHURN",
 }
 
 func main() {
@@ -66,7 +72,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY, RANKING) or 'all'")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (FIG1..FIG7, TAB-PRED, TAB-SCHED, SCALE, LEDGER, POLICY, RANKING, CHURN) or 'all'")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one JSON document for all selected experiments (rows + metrics)")
@@ -75,6 +81,12 @@ func run() int {
 	rankCCRs := flag.String("ranking-ccrs", "", "RANKING grid CCR values, comma-separated (empty = default grid)")
 	rankGraphs := flag.Int("ranking-graphs", 0, "RANKING graphs per grid cell (0 = default)")
 	rankWorkers := flag.Int("ranking-workers", 0, "RANKING worker-pool size; results are bit-identical for any value (0 = GOMAXPROCS, 1 = serial)")
+	churnSizes := flag.String("churn-sizes", "", "CHURN grid task counts, comma-separated (empty = default grid)")
+	churnCCRs := flag.String("churn-ccrs", "", "CHURN grid CCR values, comma-separated (empty = default grid)")
+	churnGraphs := flag.Int("churn-graphs", 0, "CHURN graphs per grid cell (0 = default)")
+	churnWorkers := flag.Int("churn-workers", 0, "CHURN worker-pool size; results are bit-identical for any value (0 = GOMAXPROCS, 1 = serial)")
+	churnReplanners := flag.String("churn-replanners", "", "restrict the CHURN experiment to these comma-separated re-planners (empty = all registered)")
+	churnThreshold := flag.Float64("churn-threshold", 0, "CHURN overrun threshold as a multiple of the predicted duration (0 = default)")
 	benchOut := flag.String("bench-out", "", "directory for per-experiment BENCH_<ID>.json trajectory files (wall ns + allocs per run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -144,6 +156,46 @@ func run() int {
 			}
 			cfg.Workers = workers
 			return experiments.RankingWith(cfg)
+		}
+	}
+	if *churnSizes != "" || *churnCCRs != "" || *churnGraphs > 0 || *churnWorkers != 0 ||
+		*churnReplanners != "" || *churnThreshold > 0 {
+		sizes, err := parseInts(*churnSizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-churn-sizes: %v\n", err)
+			return 2
+		}
+		ccrs, err := parseFloats(*churnCCRs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-churn-ccrs: %v\n", err)
+			return 2
+		}
+		var replanners []string
+		if *churnReplanners != "" {
+			for _, n := range strings.Split(*churnReplanners, ",") {
+				replanners = append(replanners, strings.TrimSpace(n))
+			}
+		}
+		graphs, workers, threshold := *churnGraphs, *churnWorkers, *churnThreshold
+		experimentFuncs["CHURN"] = func(seed int64) (*experiments.Result, error) {
+			cfg := experiments.DefaultChurnConfig(seed)
+			if len(sizes) > 0 {
+				cfg.Sizes = sizes
+			}
+			if len(ccrs) > 0 {
+				cfg.CCRs = ccrs
+			}
+			if graphs > 0 {
+				cfg.GraphsPerCell = graphs
+			}
+			if len(replanners) > 0 {
+				cfg.Replanners = replanners
+			}
+			if threshold > 0 {
+				cfg.Threshold = threshold
+			}
+			cfg.Workers = workers
+			return experiments.ChurnWith(cfg)
 		}
 	}
 

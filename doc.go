@@ -74,6 +74,28 @@
 // schedules a 100k-task DAG across 1000 hosts (8 sites × 125) in one
 // HEFT pass; a scheduled CI job tracks it weekly without gating merges.
 //
+// # Fault tolerance and rescheduling
+//
+// Executions recover from host churn on two levels. Mid-flight, a dead
+// host triggers one whole-frontier re-plan: the runtime hands the
+// unstarted tasks to a scheduler.Replanner — a registry mirroring the
+// policy API with a full HEFT rescan of the frontier ("heft"), cheap EFT
+// patching of only the suspect tasks ("eft"), and EFT patching plus
+// duplication of critical tasks onto idle hosts ("dup") — which repairs
+// the committed table against the settled work's timelines; every repaired
+// table is certified by ValidateSchedule before adoption
+// (scheduler.CertifyReplan), and the per-task §2.3.1 rescheduling request
+// remains the fallback. Between executions, the monitoring plane catches
+// up: a Group Manager round marks dead hosts down in the repository,
+// evicts their prediction-cache entries, resets per-host filter state on
+// recovery, and fans deviation signals out to in-flight executions
+// (site.Manager.SubscribeDeviations), so subsequent schedules avoid the
+// dead hosts outright. The CHURN experiment (vdce-bench -exp CHURN, flags
+// -churn-sizes/-churn-ccrs/-churn-replanners/-churn-threshold) replays
+// seeded host-failure/straggler traces over the dagen grid and scores
+// every re-planner by makespan degradation against the fault-free run —
+// deterministic and bit-identical for any worker count.
+//
 // See README.md for the architecture overview, the policy table, the
 // per-experiment index, and how to run the benchmarks. The root-level
 // bench_test.go wraps each experiment in a testing.B benchmark.

@@ -1,8 +1,10 @@
 // Fault tolerance: hosts fail after the scheduler has placed work on them,
-// and the Runtime System's Application Controller discovers the failures,
-// requests rescheduling from the site, and completes the application on the
-// survivors — the paper's §2.3.1 failure path ("the machine is marked as
-// 'down' ... to prevent further task mappings").
+// and the Runtime System recovers on two levels — a whole-frontier re-plan
+// through the site's configured re-planner (scheduler.Replanners: full HEFT
+// rescan, EFT patching, or duplication) backed by the per-task rescheduling
+// request of §2.3.1, then, once a monitoring round has reported the
+// failures, schedules that avoid the dead hosts outright ("the machine is
+// marked as 'down' ... to prevent further task mappings").
 package main
 
 import (
@@ -12,12 +14,16 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/site"
 	"repro/internal/vis"
 	"repro/internal/workload"
 )
 
 func main() {
-	env := core.NewEnvironment(core.Options{Seed: 13})
+	env := core.NewEnvironment(core.Options{
+		Seed:       13,
+		SiteConfig: site.Config{Replanner: "eft"}, // the frontier re-planner executions run
+	})
 	m, err := env.AddSite("syracuse", 6)
 	if err != nil {
 		log.Fatal(err)
@@ -37,7 +43,8 @@ func main() {
 	fmt.Print(vis.ApplicationPerformance(res))
 
 	// Fail the hosts the scheduler liked best — without telling the
-	// repository, so the next schedule walks straight into them.
+	// repository, so the next schedule walks straight into them and the
+	// runtime has to recover mid-flight.
 	victims := map[string]bool{}
 	for _, a := range table.Entries {
 		victims[a.Host] = true
@@ -62,12 +69,14 @@ func main() {
 	}
 	fmt.Println("\nRun with failures (note the reschedule annotations):")
 	fmt.Print(vis.ApplicationPerformance(res2))
-	fmt.Printf("\nReschedule events: %d — residual still %.3g\n",
-		res2.Rescheduled, res2.Outputs["check"].Scalar)
+	fmt.Printf("\nFrontier re-plans: %d, per-task reschedules: %d — residual still %.3g\n",
+		res2.FrontierReplans, res2.Rescheduled, res2.Outputs["check"].Scalar)
 
 	// The monitoring plane catches up: after a Group Manager round the
-	// repository knows, and future schedules avoid the dead hosts without
-	// any runtime retries.
+	// repository knows, prediction-cache entries for the dead hosts are
+	// evicted, and future schedules avoid them without any runtime retries.
+	// internal/core's TestMonitorRoundExcludesDownHostsFromPlacement pins
+	// this as a regression test; the example just demonstrates it.
 	env.TickMonitors()
 	res3, table3, err := env.Submit(context.Background(), "syracuse", g)
 	if err != nil {
@@ -77,10 +86,9 @@ func main() {
 	fmt.Println("Placement now avoids the failed hosts:")
 	for _, id := range table3.Order() {
 		a := table3.Entries[id]
-		down := ""
 		if m.Pool.Get(a.Host).IsDown() {
-			down = "  <-- BUG"
+			log.Fatalf("task %s placed on down host %s", id, a.Host)
 		}
-		fmt.Printf("  %-8s -> %s%s\n", id, a.Host, down)
+		fmt.Printf("  %-8s -> %s\n", id, a.Host)
 	}
 }

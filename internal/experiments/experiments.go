@@ -445,7 +445,7 @@ func All(seed int64) ([]*Result, error) {
 		Fig1MultiSite, Fig2Pipeline, Fig3LinearSolver, Fig4SiteScheduler,
 		Fig5HostSelection, Fig6Monitoring, Fig7ExecSetup,
 		PredictionAccuracy, ScheduleQuality, ScaleScheduling,
-		AvailabilityScheduling, PolicyComparison, Ranking,
+		AvailabilityScheduling, PolicyComparison, Ranking, Churn,
 	}
 	var out []*Result
 	for _, f := range funcs {

@@ -265,7 +265,7 @@ func TestAllRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 13 {
+	if len(results) != 14 {
 		t.Fatalf("results = %d", len(results))
 	}
 	seen := map[string]bool{}

@@ -90,6 +90,24 @@ type hostState struct {
 	netRateBs float64       // last measured intra-group transfer rate
 }
 
+// resetFilter discards the change-filter state. Called on a down→up
+// recovery: the window, lastSent, and sentOnce all describe the pre-failure
+// workload, and keeping them can suppress the first post-recovery
+// measurement as "insignificant" while the repository still holds
+// downtime-era values. A rebooted machine is a fresh population — the first
+// fresh measurement must always forward.
+func (st *hostState) resetFilter(windowSize int) {
+	st.window = predict.NewWindow(windowSize)
+	st.lastSent = 0
+	st.sentOnce = false
+}
+
+// PathProber measures one site-to-site network path. *netsim.Network
+// implements it; tests substitute call-counting stubs via SetPathProber.
+type PathProber interface {
+	Path(a, b string) netsim.PathSpec
+}
+
 // GroupManager aggregates one host group. The group-leader machine runs it;
 // the Site Manager receives its filtered updates and failure reports.
 type GroupManager struct {
@@ -98,7 +116,7 @@ type GroupManager struct {
 	mu     sync.Mutex
 	cfg    Config
 	sink   Sink
-	net    *netsim.Network
+	net    PathProber
 	site   string
 	hosts  map[string]*hostState
 	order  []string
@@ -119,10 +137,12 @@ func NewGroupManager(name, site string, hosts []*resource.Host, sink Sink, cfg C
 		Name:   name,
 		cfg:    cfg,
 		sink:   sink,
-		net:    net,
 		site:   site,
 		hosts:  make(map[string]*hostState, len(hosts)),
 		nowFun: time.Now,
+	}
+	if net != nil { // avoid a typed-nil PathProber
+		gm.net = net
 	}
 	for _, h := range hosts {
 		gm.hosts[h.Spec.Name] = &hostState{
@@ -132,6 +152,14 @@ func NewGroupManager(name, site string, hosts []*resource.Host, sink Sink, cfg C
 		gm.order = append(gm.order, h.Spec.Name)
 	}
 	return gm
+}
+
+// SetPathProber overrides the network-path source (call-counting test
+// stubs). Passing nil disables network measurement.
+func (gm *GroupManager) SetPathProber(p PathProber) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	gm.net = p
 }
 
 // SetClock overrides the time source (deterministic tests).
@@ -152,6 +180,14 @@ func (gm *GroupManager) Tick() {
 	gm.mu.Lock()
 	defer gm.mu.Unlock()
 	now := gm.nowFun()
+	// Echo round-trips double as network measurement within the group
+	// ("these packets are used ... to measure the network parameters").
+	// The probes all traverse the same intra-group path, so one measurement
+	// per round covers every alive host — not one per host.
+	var path netsim.PathSpec
+	if gm.net != nil {
+		path = gm.net.Path(gm.site, gm.site)
+	}
 	for _, name := range gm.order {
 		st := gm.hosts[name]
 
@@ -167,6 +203,7 @@ func (gm *GroupManager) Tick() {
 		}
 		if st.down {
 			st.down = false
+			st.resetFilter(gm.cfg.WindowSize)
 			gm.stats.RecoverySeen++
 			gm.sink.HostUp(name, now)
 		}
@@ -174,12 +211,9 @@ func (gm *GroupManager) Tick() {
 		m := st.daemon.Measure(now)
 		gm.stats.Measurements++
 
-		// Echo round-trips double as network measurement within the group
-		// ("these packets are used ... to measure the network parameters").
 		if gm.net != nil {
-			p := gm.net.Path(gm.site, gm.site)
-			st.netLat = p.Latency
-			st.netRateBs = p.Bandwidth
+			st.netLat = path.Latency
+			st.netRateBs = path.Bandwidth
 		}
 
 		width := st.window.ConfidenceWidth(gm.cfg.ConfidenceZ)

@@ -46,17 +46,26 @@ type TaskResult struct {
 
 // Result is a completed application execution.
 type Result struct {
-	App         string
-	Outputs     map[afg.TaskID]tasklib.Value
-	TaskResults map[afg.TaskID]TaskResult
-	Makespan    time.Duration
-	Rescheduled int // number of reschedule events across all tasks
+	App             string
+	Outputs         map[afg.TaskID]tasklib.Value
+	TaskResults     map[afg.TaskID]TaskResult
+	Makespan        time.Duration
+	Rescheduled     int // number of per-task reschedule events
+	FrontierReplans int // number of whole-frontier re-plan events
 }
 
 // Rescheduler supplies a fresh assignment when a task's host is failed or
 // overloaded — the paper's "sends a task rescheduling request to the Group
 // Manager". exclude lists hosts already tried.
 type Rescheduler func(ctx context.Context, id afg.TaskID, exclude []string) (scheduler.Assignment, error)
+
+// FrontierReplan re-plans every not-yet-started task after a host failure —
+// the Group Manager's frontier rescheduling path (§2.3.1), backed by a
+// scheduler.Replanner. settled lists tasks whose placements must be
+// preserved (started or finished); the returned map carries the new
+// assignments for the unstarted frontier. An error falls back to the
+// per-task Rescheduler.
+type FrontierReplan func(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable, settled map[afg.TaskID]bool, failedHost string) (map[afg.TaskID]scheduler.Assignment, error)
 
 // Options configures an execution.
 type Options struct {
@@ -81,6 +90,15 @@ type Options struct {
 	LoadThreshold float64
 	// Reschedule handles failed/overloaded placements; nil fails the task.
 	Reschedule Rescheduler
+	// FrontierReplan, if set, re-plans the whole unstarted frontier when a
+	// host fails, before the per-task Reschedule fallback patches the one
+	// failing task. At most one frontier re-plan fires per failed host.
+	FrontierReplan FrontierReplan
+	// Deviations, if set, feeds monitor-reported failed-host names into the
+	// execution: each received host triggers a frontier re-plan even before
+	// any of this application's tasks touches the dead host. The channel is
+	// drained until closed or the execution ends.
+	Deviations <-chan string
 	// RemoteExec runs a task whose assigned host is not locally
 	// resolvable — the cross-site execution path: the local Application
 	// Controller forwards the invocation to the owning site's Manager
@@ -129,6 +147,22 @@ func Execute(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable
 	}
 	defer env.close()
 
+	if opts.Deviations != nil {
+		go func() {
+			for {
+				select {
+				case h, ok := <-opts.Deviations:
+					if !ok {
+						return
+					}
+					env.frontierReplan(ctx, h)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
 	outcomes := make(chan taskOutcome, g.Len())
 	var wg sync.WaitGroup
@@ -166,6 +200,7 @@ func Execute(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable
 		}
 	}
 	res.Makespan = time.Since(start)
+	res.FrontierReplans = env.replanCount()
 	if firstErr != nil {
 		return res, firstErr
 	}
@@ -179,6 +214,15 @@ type execEnv struct {
 	table *scheduler.AllocationTable
 	opts  Options
 
+	// Live placement state: the current assignment per task (frontier
+	// re-plans move unstarted entries), which tasks have started (settled,
+	// not movable), and which failed hosts already triggered a re-plan.
+	mu        sync.Mutex
+	cur       map[afg.TaskID]scheduler.Assignment
+	started   map[afg.TaskID]bool
+	replanned map[string]bool
+	replans   int
+
 	// in-memory mode: one buffered channel per link.
 	mem map[afg.Link]chan tasklib.Value
 
@@ -187,7 +231,16 @@ type execEnv struct {
 }
 
 func newExecEnv(g *afg.Graph, table *scheduler.AllocationTable, opts Options) (*execEnv, error) {
-	env := &execEnv{g: g, table: table, opts: opts}
+	env := &execEnv{
+		g: g, table: table, opts: opts,
+		cur:       make(map[afg.TaskID]scheduler.Assignment, g.Len()),
+		started:   make(map[afg.TaskID]bool, g.Len()),
+		replanned: make(map[string]bool),
+	}
+	for _, id := range g.TaskIDs() {
+		a, _ := table.Get(id)
+		env.cur[id] = a
+	}
 	if !opts.UseSockets {
 		env.mem = make(map[afg.Link]chan tasklib.Value)
 		for _, l := range g.Links() {
@@ -223,6 +276,64 @@ func newExecEnv(g *afg.Graph, table *scheduler.AllocationTable, opts Options) (*
 	// All ACKs in: the caller proceeding to runTask goroutines is the
 	// execution startup signal (step 5).
 	return env, nil
+}
+
+// claim marks the task started and returns its current assignment — which a
+// frontier re-plan may have moved since the table was multicast.
+func (e *execEnv) claim(id afg.TaskID) scheduler.Assignment {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.started[id] = true
+	return e.cur[id]
+}
+
+// release returns a killed task to the frontier: its result is lost, so a
+// re-plan is free to move it.
+func (e *execEnv) release(id afg.TaskID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.started, id)
+}
+
+// frontierReplan fires at most one frontier re-plan per failed host and
+// installs the new assignments for every still-unstarted task. It reports
+// whether a re-plan (this one or an earlier one for the same host) ran, so
+// the caller knows to re-read its assignment before falling back to the
+// per-task path.
+func (e *execEnv) frontierReplan(ctx context.Context, host string) bool {
+	if e.opts.FrontierReplan == nil {
+		return false
+	}
+	e.mu.Lock()
+	if e.replanned[host] {
+		e.mu.Unlock()
+		return true
+	}
+	e.replanned[host] = true
+	settled := make(map[afg.TaskID]bool, len(e.started))
+	for id := range e.started {
+		settled[id] = true
+	}
+	e.mu.Unlock()
+	moved, err := e.opts.FrontierReplan(ctx, e.g, e.table, settled, host)
+	if err != nil || len(moved) == 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.replans++
+	for id, a := range moved {
+		if !e.started[id] {
+			e.cur[id] = a
+		}
+	}
+	return true
+}
+
+func (e *execEnv) replanCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replans
 }
 
 func (e *execEnv) close() {
@@ -336,7 +447,7 @@ func (e *execEnv) runTask(ctx context.Context, id afg.TaskID, out chan<- taskOut
 		}
 	}
 
-	assign, _ := e.table.Get(id)
+	assign := e.claim(id)
 	var tried []string
 	begin := time.Now()
 	res.Started = begin
@@ -392,8 +503,22 @@ func (e *execEnv) runTask(ctx context.Context, id afg.TaskID, out chan<- taskOut
 			}
 			placeErr = runErr
 		}
-		// Host unusable: request rescheduling.
+		// Host unusable: request rescheduling. A dead host first gets one
+		// frontier re-plan (repairing every unstarted task in one pass);
+		// if that moved this task, retry on the new placement, otherwise
+		// fall through to the per-task path.
 		tried = append(tried, assign.Host)
+		if errors.Is(placeErr, ErrHostFailed) {
+			e.release(id)
+			if e.frontierReplan(ctx, assign.Host) {
+				if na := e.claim(id); na.Host != assign.Host {
+					assign = na
+					continue
+				}
+			} else {
+				e.claim(id) // no re-plan ran: re-settle under the old slot
+			}
+		}
 		if e.opts.Reschedule == nil {
 			fail(fmt.Errorf("%w: host %s: %v", ErrNoReschedule, assign.Host, placeErr))
 			return

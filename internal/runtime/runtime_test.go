@@ -371,3 +371,102 @@ func TestHostAccountingBalanced(t *testing.T) {
 		t.Fatal("completed-task accounting wrong")
 	}
 }
+
+// TestFrontierReplanMovesWholeFrontier: when a host is dead, the first
+// failing task fires ONE whole-frontier re-plan and every task lands on the
+// replacement host without any per-task Reschedule (Options.Reschedule is
+// nil, so falling back would fail the run).
+func TestFrontierReplanMovesWholeFrontier(t *testing.T) {
+	g := linSolverGraph(t, 16)
+	hosts, resolve := testCluster(2)
+	hosts["A"].SetDown(true)
+	table := spreadTable(g, []string{"A"})
+	var mu sync.Mutex
+	calls := 0
+	res, err := Execute(context.Background(), g, table, Options{
+		Hosts: resolve,
+		FrontierReplan: func(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable, settled map[afg.TaskID]bool, failedHost string) (map[afg.TaskID]scheduler.Assignment, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			if failedHost != "A" {
+				t.Errorf("failedHost = %q", failedHost)
+			}
+			moved := map[afg.TaskID]scheduler.Assignment{}
+			for _, id := range g.TaskIDs() {
+				if !settled[id] {
+					moved[id] = scheduler.Assignment{Task: id, Site: "syr", Host: "B"}
+				}
+			}
+			return moved, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("frontier re-plan fired %d times, want once per failed host", calls)
+	}
+	if res.FrontierReplans != 1 {
+		t.Fatalf("FrontierReplans = %d", res.FrontierReplans)
+	}
+	for id, tr := range res.TaskResults {
+		if tr.Host != "B" {
+			t.Fatalf("task %s ran on %s, want B", id, tr.Host)
+		}
+	}
+}
+
+// TestDeviationsChannelTriggersReplan: a monitor-reported host failure
+// arriving on Options.Deviations re-plans the frontier before any task of
+// this application touches the dead host.
+func TestDeviationsChannelTriggersReplan(t *testing.T) {
+	g := linSolverGraph(t, 16)
+	hosts, resolve := testCluster(2)
+	table := spreadTable(g, []string{"B"}) // everything planned onto B
+	gate := datamgr.NewGate()
+	gate.Pause()
+	dev := make(chan string, 1)
+	done := make(chan struct {
+		res *Result
+		err error
+	}, 1)
+	go func() {
+		res, err := Execute(context.Background(), g, table, Options{
+			Hosts:      resolve,
+			Gate:       gate,
+			Deviations: dev,
+			FrontierReplan: func(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable, settled map[afg.TaskID]bool, failedHost string) (map[afg.TaskID]scheduler.Assignment, error) {
+				moved := map[afg.TaskID]scheduler.Assignment{}
+				for _, id := range g.TaskIDs() {
+					if !settled[id] {
+						moved[id] = scheduler.Assignment{Task: id, Site: "syr", Host: "A"}
+					}
+				}
+				return moved, nil
+			},
+		})
+		done <- struct {
+			res *Result
+			err error
+		}{res, err}
+	}()
+	dev <- "B" // monitor reports B down while all tasks wait at the gate
+	time.Sleep(50 * time.Millisecond)
+	gate.Resume()
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.FrontierReplans != 1 {
+		t.Fatalf("FrontierReplans = %d", out.res.FrontierReplans)
+	}
+	for id, tr := range out.res.TaskResults {
+		if tr.Host != "A" {
+			t.Fatalf("task %s ran on %s, want A after the deviation", id, tr.Host)
+		}
+	}
+	if hosts["B"].Completed() != 0 {
+		t.Fatalf("dead host still ran %d tasks", hosts["B"].Completed())
+	}
+}

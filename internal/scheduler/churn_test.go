@@ -1,0 +1,179 @@
+package scheduler
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/afg"
+)
+
+// With no faults and no stragglers the churn executor is Simulate: same
+// start rule, same transfer rule, same tie-breaks — bit-identical makespan.
+func TestChurnFaultFreeMatchesSimulate(t *testing.T) {
+	hosts, model, net := reschedEnv()
+	for seed := int64(1); seed <= 4; seed++ {
+		g := layeredDAG(t, 4, 5, seed)
+		tbl := tableRoundRobin(g, model, hosts)
+		want, err := Simulate(g, tbl, model, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunChurn(g, tbl, model, net, hosts, ChurnTrace{}, ChurnConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Makespan != want { //vdce:ignore floateq fault-free parity with Simulate is the executor's correctness pin
+			t.Fatalf("seed %d: churn makespan %v != simulate %v", seed, out.Makespan, want)
+		}
+		if out.Replans != 0 || out.Killed != 0 || out.DupRuns != 0 {
+			t.Fatalf("seed %d: fault-free run produced events: %+v", seed, out)
+		}
+	}
+}
+
+// Satellite: a straggler host triggers frontier re-planning exactly once —
+// the overrun is detected at threshold × predicted, the frontier moves off
+// the host, and no second deviation fires.
+func TestChurnStragglerReplansOnce(t *testing.T) {
+	hosts, model, net := reschedEnv()
+	g := afg.New("chain")
+	for _, id := range []string{"A", "B", "C"} {
+		if err := g.AddTask(&afg.Task{ID: afg.TaskID(id), Function: "synthetic.noop",
+			ComputeCost: 4, OutputBytes: 1 << 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"A", "B"}, {"B", "C"}} {
+		if err := g.AddLink(afg.Link{From: afg.TaskID(l[0]), To: afg.TaskID(l[1])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := tableOn(g, model, "alpha", "a-0")
+	trace := ChurnTrace{Straggle: map[string]float64{"a-0": 2.0}}
+	for _, name := range Replanners() {
+		t.Run(name, func(t *testing.T) {
+			out, err := RunChurn(g, tbl, model, net, hosts, trace,
+				ChurnConfig{OverrunThreshold: 1.5, Replanner: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.OverrunReplans != 1 || out.Replans != 1 {
+				t.Fatalf("replans = %+v, want exactly one overrun re-plan", out)
+			}
+			if out.HostDownReplans != 0 || out.Killed != 0 {
+				t.Fatalf("unexpected failure handling in straggler run: %+v", out)
+			}
+			// A runs 8s on the straggler; B and C moved to clean machines.
+			fair, _ := Simulate(g, tbl, model, net)
+			if out.Makespan <= fair {
+				t.Fatalf("makespan %v not degraded vs fault-free %v", out.Makespan, fair)
+			}
+		})
+	}
+}
+
+// A host failure kills the running task, the re-planner moves it, and the
+// run completes on the surviving machines.
+func TestChurnHostDownKillsAndReschedules(t *testing.T) {
+	hosts, model, net := reschedEnv()
+	g := afg.New("single")
+	if err := g.AddTask(&afg.Task{ID: "A", Function: "synthetic.noop", ComputeCost: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tbl := tableOn(g, model, "alpha", "a-0")
+	trace := ChurnTrace{Events: []ChurnEvent{{At: 2, Host: "a-0", Down: true}}}
+	out, err := RunChurn(g, tbl, model, net, hosts, trace, ChurnConfig{Replanner: "eft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed != 1 || out.HostDownReplans != 1 {
+		t.Fatalf("outcome = %+v, want one kill and one host-down re-plan", out)
+	}
+	// A restarts at t=2 on the fast machine a-1 (4/2 = 2s): makespan 4.
+	if out.Makespan != 4 { //vdce:ignore floateq exact arithmetic on round inputs pins the restart accounting
+		t.Fatalf("makespan = %v, want 4", out.Makespan)
+	}
+}
+
+// A promoted duplicate absorbs a second failure: when the re-placed copy's
+// host dies too, the dup re-planner's hedge becomes the primary placement.
+func TestChurnDuplicatePromoted(t *testing.T) {
+	hosts, model, net := reschedEnv()
+	g := afg.New("single")
+	if err := g.AddTask(&afg.Task{ID: "A", Function: "synthetic.noop", ComputeCost: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tbl := tableOn(g, model, "alpha", "a-0")
+	trace := ChurnTrace{Events: []ChurnEvent{
+		{At: 2, Host: "a-0", Down: true},
+		{At: 3, Host: "a-1", Down: true},
+	}}
+	out, err := RunChurn(g, tbl, model, net, hosts, trace, ChurnConfig{Replanner: "dup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Killed != 2 || out.DupRuns != 1 {
+		t.Fatalf("outcome = %+v, want two kills and one promoted duplicate", out)
+	}
+	if out.Makespan <= 4 {
+		t.Fatalf("makespan = %v, want > 4 after two failures", out.Makespan)
+	}
+}
+
+// Fixed seed + fixed config ⇒ bit-identical outcomes, per re-planner.
+func TestChurnDeterminism(t *testing.T) {
+	hosts, model, net := reschedEnv()
+	names := make([]string, len(hosts))
+	for i, h := range hosts {
+		names[i] = h.Host
+	}
+	for _, name := range Replanners() {
+		t.Run(name, func(t *testing.T) {
+			g := layeredDAG(t, 5, 4, 7)
+			tbl := tableRoundRobin(g, model, hosts)
+			fair, err := Simulate(g, tbl, model, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trace := GenerateChurnTrace(names, fair, ChurnTraceConfig{
+				FailFraction: 0.25, RepairAfter: fair, StraggleFraction: 0.25, StraggleFactor: 2,
+			}, 42)
+			a, err := RunChurn(g, tbl, model, net, hosts, trace, ChurnConfig{Replanner: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunChurn(g, tbl, model, net, hosts, trace, ChurnConfig{Replanner: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("nondeterministic churn outcome:\n%+v\n%+v", a, b)
+			}
+		})
+	}
+}
+
+func TestGenerateChurnTrace(t *testing.T) {
+	names := []string{"h1", "h2", "h3", "h4"}
+	a := GenerateChurnTrace(names, 100, DefaultChurnTrace, 1)
+	b := GenerateChurnTrace(names, 100, DefaultChurnTrace, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace generation not deterministic for a fixed seed")
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatal("events not sorted by time")
+		}
+	}
+	// Even at FailFraction 1 a survivor remains.
+	full := GenerateChurnTrace(names, 100, ChurnTraceConfig{FailFraction: 1}, 2)
+	failed := map[string]bool{}
+	for _, ev := range full.Events {
+		if ev.Down {
+			failed[ev.Host] = true
+		}
+	}
+	if len(failed) >= len(names) {
+		t.Fatalf("no survivor: %d of %d hosts fail", len(failed), len(names))
+	}
+}

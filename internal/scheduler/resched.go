@@ -1,0 +1,707 @@
+package scheduler
+
+// resched.go is the frontier rescheduler (ROADMAP item 2, paper §2.3.1):
+// when the monitoring plane reports a deviation — a host down, or a task
+// overrunning its prediction past a threshold — the *unstarted frontier*
+// of an in-flight application is re-planned against the committed ledger
+// timelines instead of re-solving the whole application. Completed and
+// running tasks keep their assignments verbatim; only tasks that have not
+// started may move.
+//
+// Re-planners are pluggable behind a registry mirroring the policy
+// registry's conventions (registry.go): RegisterReplanner at init,
+// LookupReplanner by name, sorted Replanners() for error messages and
+// flag help. Three comparable built-ins ship:
+//
+//	heft — full HEFT rescan of the frontier: upward ranks over the
+//	       frontier subgraph, insertion-based EFT placement
+//	eft  — cheap patch: only frontier tasks touching a suspect host are
+//	       re-placed (append-based EFT); everything else stays put
+//	dup  — the eft patch plus duplicate copies of the re-placed tasks on
+//	       idle hosts, a hedge the churn harness may promote if the
+//	       primary copy's host fails too
+//
+// Every re-planned table is certified by CertifyReplan: Simulate and
+// ValidateSchedule must replay it without violations and agree bit-for-bit
+// on the makespan.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/afg"
+	"repro/internal/netsim"
+)
+
+// DeviationKind classifies what the monitoring plane observed.
+type DeviationKind int
+
+const (
+	// DeviationHostDown is a Group Manager failure report: echo probes
+	// stopped answering and the host was marked down.
+	DeviationHostDown DeviationKind = iota
+	// DeviationOverrun is a straggler report: a running task exceeded its
+	// predicted execution time by the configured threshold.
+	DeviationOverrun
+)
+
+func (k DeviationKind) String() string {
+	switch k {
+	case DeviationHostDown:
+		return "host-down"
+	case DeviationOverrun:
+		return "overrun"
+	}
+	return fmt.Sprintf("DeviationKind(%d)", int(k))
+}
+
+// Deviation is one monitoring-plane signal that triggers a re-plan.
+type Deviation struct {
+	Kind DeviationKind
+	Host string     // the failed or straggling host
+	Task afg.TaskID // overrun only: the straggling task
+	//vdce:unit seconds
+	At float64 // detection time, seconds since schedule start
+	// Ratio is observed/predicted execution time at detection (overrun
+	// only; ≥ the configured threshold by construction).
+	Ratio float64
+}
+
+// ReplanRequest is the full context a re-planner sees: the application,
+// its committed table, execution progress, and the environment.
+type ReplanRequest struct {
+	Graph *afg.Graph
+	Table *AllocationTable // the committed plan being repaired
+
+	// Done maps finished tasks to their actual finish time; Running maps
+	// started-but-unfinished tasks to their expected finish. Every other
+	// task is the unstarted frontier and may be re-placed.
+	//vdce:unit seconds
+	Done map[afg.TaskID]float64
+	//vdce:unit seconds
+	Running map[afg.TaskID]float64
+
+	// Down marks hosts that must receive no further mappings (§2.3.1:
+	// "the machine is marked as 'down' ... to prevent further task
+	// mappings").
+	Down map[string]bool
+
+	Event Deviation
+
+	// Costs predicts execution seconds per (task, host); Hosts is the
+	// candidate pool in dense-column order (site asc, host asc). Net and
+	// Ledger mirror the initial scheduling environment; both may be nil.
+	Costs  TimeModel
+	Hosts  []HostRef
+	Net    *netsim.Network
+	Ledger *LoadLedger
+}
+
+// Replan is a re-planner's output: the complete repaired table (settled
+// assignments copied verbatim, frontier re-placed), the number of frontier
+// tasks whose primary host changed, and optional duplicate assignments —
+// hedge copies on idle hosts that are NOT part of the certified table.
+type Replan struct {
+	Table      *AllocationTable
+	Moved      int
+	Duplicates []Assignment
+}
+
+// Replanner re-plans the unstarted frontier after a deviation.
+type Replanner interface {
+	Name() string
+	Replan(req *ReplanRequest) (*Replan, error)
+}
+
+// ErrUnknownReplanner reports a LookupReplanner for a name nothing
+// registered.
+var ErrUnknownReplanner = errors.New("scheduler: unknown replanner")
+
+var (
+	replannerMu  sync.RWMutex
+	replannerReg = map[string]Replanner{}
+)
+
+// RegisterReplanner installs a re-planner under r.Name(). It panics on an
+// empty name or a duplicate registration — programming errors caught at
+// init, exactly like the policy registry.
+func RegisterReplanner(r Replanner) {
+	name := r.Name()
+	if name == "" {
+		panic("scheduler: RegisterReplanner with empty name")
+	}
+	replannerMu.Lock()
+	defer replannerMu.Unlock()
+	if _, dup := replannerReg[name]; dup {
+		panic(fmt.Sprintf("scheduler: replanner %q registered twice", name))
+	}
+	replannerReg[name] = r
+}
+
+// LookupReplanner resolves a re-planner by name. Unknown names return an
+// error wrapping ErrUnknownReplanner that lists every registered one.
+func LookupReplanner(name string) (Replanner, error) {
+	replannerMu.RLock()
+	r, ok := replannerReg[name]
+	replannerMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (available: %s)",
+			ErrUnknownReplanner, name, strings.Join(Replanners(), ", "))
+	}
+	return r, nil
+}
+
+// Replanners returns the registered re-planner names, sorted.
+func Replanners() []string {
+	replannerMu.RLock()
+	defer replannerMu.RUnlock()
+	out := make([]string, 0, len(replannerReg))
+	for name := range replannerReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterReplanner(heftReplanner{})
+	RegisterReplanner(eftReplanner{})
+	RegisterReplanner(dupReplanner{})
+}
+
+// frontierSet returns the unstarted tasks: everything not Done and not
+// Running.
+func (req *ReplanRequest) frontierSet() map[afg.TaskID]bool {
+	front := make(map[afg.TaskID]bool, req.Graph.Len())
+	for _, id := range req.Graph.TaskIDs() {
+		if _, done := req.Done[id]; done {
+			continue
+		}
+		if _, run := req.Running[id]; run {
+			continue
+		}
+		front[id] = true
+	}
+	return front
+}
+
+// eligibleHosts filters Down hosts out of the candidate pool, sorted by
+// (site, host) — the dense-column order every re-planner iterates.
+func (req *ReplanRequest) eligibleHosts() []HostRef {
+	out := make([]HostRef, 0, len(req.Hosts))
+	for _, h := range req.Hosts {
+		if req.Down[h.Host] {
+			continue
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+func (req *ReplanRequest) validate() error {
+	if req.Graph == nil || req.Graph.Len() == 0 {
+		return errors.New("scheduler: replan: empty graph")
+	}
+	if req.Table == nil {
+		return errors.New("scheduler: replan: nil table")
+	}
+	if req.Costs == nil {
+		return errors.New("scheduler: replan: nil cost model")
+	}
+	// Sorted walks so the same malformed request surfaces the same error.
+	for _, id := range sortedIDs(req.Done) {
+		if _, run := req.Running[id]; run {
+			return fmt.Errorf("scheduler: replan: task %s both done and running", id)
+		}
+		if _, ok := req.Table.Get(id); !ok {
+			return fmt.Errorf("scheduler: replan: done task %s missing from table", id)
+		}
+	}
+	for _, id := range sortedIDs(req.Running) {
+		if _, ok := req.Table.Get(id); !ok {
+			return fmt.Errorf("scheduler: replan: running task %s missing from table", id)
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns a map's task keys in ascending order.
+func sortedIDs(m map[afg.TaskID]float64) []afg.TaskID {
+	out := make([]afg.TaskID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// replanState is the shared placement machinery: host timelines seeded
+// from settled work and the ledger, per-task finish estimates, and the
+// repaired table under construction. All iteration that reaches the table
+// runs over sorted slices; the maps here are keyed lookups only.
+type replanState struct {
+	req    *ReplanRequest
+	lines  map[string]*timeline
+	seed   map[string]float64 // host -> settled busy horizon
+	finish map[afg.TaskID]float64
+	place  map[afg.TaskID]Assignment // settled + placed-so-far
+	table  *AllocationTable
+	moved  int
+}
+
+// newReplanState copies the settled (done + running) assignments verbatim
+// into the repaired table, records their finishes, and computes each
+// host's settled busy horizon: a host is treated as unavailable until the
+// last settled task mapped to it finishes (and, when a ledger is present,
+// until its committed cross-application seconds drain).
+func newReplanState(req *ReplanRequest) *replanState {
+	st := &replanState{
+		req:    req,
+		lines:  make(map[string]*timeline),
+		seed:   make(map[string]float64),
+		finish: make(map[afg.TaskID]float64, len(req.Done)+len(req.Running)),
+		place:  make(map[afg.TaskID]Assignment, req.Graph.Len()),
+		table:  NewAllocationTableSized(req.Table.App, req.Graph.Len()),
+	}
+	for _, id := range req.Graph.TaskIDs() {
+		f, settled := req.Done[id]
+		if !settled {
+			f, settled = req.Running[id]
+		}
+		if !settled {
+			continue
+		}
+		a, _ := req.Table.Get(id)
+		st.table.Set(a)
+		st.finish[id] = f
+		st.place[id] = a
+		for _, h := range effectiveHosts(a) {
+			if f > st.seed[h] {
+				st.seed[h] = f
+			}
+		}
+	}
+	return st
+}
+
+// line returns the host's timeline, creating it seeded with the settled
+// busy horizon and the ledger's committed seconds on first use.
+func (st *replanState) line(host string) *timeline {
+	t, ok := st.lines[host]
+	if !ok {
+		t = &timeline{}
+		busy := st.seed[host]
+		if st.req.Ledger != nil {
+			if b := st.req.Ledger.Busy(host); b > busy {
+				busy = b
+			}
+		}
+		if busy > 0 {
+			t.busy = append(t.busy, span{0, busy})
+		}
+		st.lines[host] = t
+	}
+	return t
+}
+
+// readyOn estimates when id's inputs are available on the given host:
+// the max over parents of finish plus the cross-host transfer time.
+// Parents without a finish estimate yet (possible only under zero-cost
+// rank ties) are skipped, mirroring the HEFT placement's readyAt.
+func (st *replanState) readyOn(id afg.TaskID, site, host string) float64 {
+	var ready float64
+	for _, l := range st.req.Graph.Parents(id) {
+		pf, ok := st.finish[l.From]
+		if !ok {
+			continue
+		}
+		arrive := pf
+		if st.req.Net != nil {
+			if b := transferBytes(st.req.Graph, l); b > 0 {
+				pa := st.place[l.From]
+				if !hostIn(effectiveHosts(pa), host) {
+					arrive += st.req.Net.TransferTime(pa.Site, site, b).Seconds()
+				}
+			}
+		}
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready
+}
+
+// commit records a placement: table entry, finish estimate, and timeline
+// reservations on every occupied host.
+func (st *replanState) commit(a Assignment, start, fin float64, moved bool) {
+	st.table.Set(a)
+	st.finish[a.Task] = fin
+	st.place[a.Task] = a
+	for _, h := range effectiveHosts(a) {
+		st.line(h).add(start, fin)
+	}
+	if moved {
+		st.moved++
+	}
+}
+
+// keep re-commits a frontier task on its current assignment, charging its
+// timelines so later placements see the occupancy.
+func (st *replanState) keep(id afg.TaskID, a Assignment) {
+	task := st.req.Graph.Task(id)
+	hosts := effectiveHosts(a)
+	dur := a.Predicted
+	if len(hosts) == 1 {
+		if c := st.req.Costs(task, a.Host); validCost(c) {
+			dur = c
+		}
+	}
+	start := st.readyOn(id, a.Site, a.Host)
+	for _, h := range hosts {
+		if e := st.line(h).end(); e > start {
+			start = e
+		}
+	}
+	st.commit(a, start, start+dur, false)
+}
+
+func validCost(c float64) bool {
+	return !math.IsNaN(c) && !math.IsInf(c, 0) && c >= 0
+}
+
+// placeBest EFT-places one frontier task over the candidate pool:
+// insertion-based (idle-gap) start when insertion is true, append-based
+// otherwise. Tie-break matches the HEFT placement: earliest finish, then
+// site name, then host name.
+func (st *replanState) placeBest(id afg.TaskID, cands []HostRef, insertion bool) error {
+	task := st.req.Graph.Task(id)
+	old, _ := st.req.Table.Get(id)
+	var (
+		found              bool
+		best               HostRef
+		bestCost           float64
+		bestStart, bestFin float64
+	)
+	for _, c := range cands {
+		cost := st.req.Costs(task, c.Host)
+		if !validCost(cost) {
+			continue
+		}
+		ready := st.readyOn(id, c.Site, c.Host)
+		line := st.line(c.Host)
+		start := ready
+		if insertion {
+			start = line.earliest(ready, cost)
+		} else if e := line.end(); e > start {
+			start = e
+		}
+		fin := start + cost
+		better := !found || fin < bestFin
+		if found && fin == bestFin { // tie-break adjacent to the ordering above
+			better = c.Site < best.Site || (c.Site == best.Site && c.Host < best.Host)
+		}
+		if better {
+			found, best, bestCost, bestStart, bestFin = true, c, cost, start, fin
+		}
+	}
+	if !found {
+		return fmt.Errorf("scheduler: replan task %s: %w", id, ErrNoEligibleHost)
+	}
+	a := Assignment{Task: id, Site: best.Site, Host: best.Host,
+		Hosts: []string{best.Host}, Predicted: bestCost}
+	st.commit(a, bestStart, bestFin, a.Host != old.Host)
+	return nil
+}
+
+// placeFrontier places one frontier task, preserving a parallel task's
+// host set when every member is still eligible (re-placing a parallel
+// task single-host only when one of its machines went down).
+func (st *replanState) placeFrontier(id afg.TaskID, cands []HostRef, insertion bool) error {
+	old, ok := st.req.Table.Get(id)
+	if ok && len(old.Hosts) > 1 {
+		anyDown := false
+		for _, h := range old.Hosts {
+			if st.req.Down[h] {
+				anyDown = true
+				break
+			}
+		}
+		if !anyDown {
+			st.keep(id, old)
+			return nil
+		}
+	}
+	return st.placeBest(id, cands, insertion)
+}
+
+func startReplan(req *ReplanRequest) (*replanState, map[afg.TaskID]bool, []HostRef, error) {
+	if err := req.validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	cands := req.eligibleHosts()
+	if len(cands) == 0 {
+		return nil, nil, nil, fmt.Errorf("scheduler: replan: %w", ErrNoEligibleHost)
+	}
+	return newReplanState(req), req.frontierSet(), cands, nil
+}
+
+// heftReplanner is the full HEFT rescan: upward ranks over the frontier
+// subgraph (mean cost over eligible hosts, environment-average comm), then
+// rank-descending insertion-based EFT placement.
+type heftReplanner struct{}
+
+func (heftReplanner) Name() string { return "heft" }
+
+func (heftReplanner) Replan(req *ReplanRequest) (*Replan, error) {
+	st, front, cands, err := startReplan(req)
+	if err != nil {
+		return nil, err
+	}
+	var sites []string
+	seenSite := map[string]bool{}
+	for _, c := range cands {
+		if !seenSite[c.Site] {
+			seenSite[c.Site] = true
+			sites = append(sites, c.Site)
+		}
+	}
+	sort.Strings(sites)
+	cm := averageComm(req.Net, sites)
+
+	order, err := req.Graph.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: replan: %w", err)
+	}
+	rank := make(map[afg.TaskID]float64, len(front))
+	ids := make([]afg.TaskID, 0, len(front))
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		if !front[id] {
+			continue
+		}
+		ids = append(ids, id)
+		task := req.Graph.Task(id)
+		var w float64
+		n := 0
+		for _, c := range cands {
+			if cost := req.Costs(task, c.Host); validCost(cost) {
+				w += cost
+				n++
+			}
+		}
+		if n > 0 {
+			w /= float64(n)
+		}
+		var up float64
+		for _, l := range req.Graph.Children(id) {
+			if !front[l.To] {
+				continue
+			}
+			if v := cm.cost(transferBytes(req.Graph, l)) + rank[l.To]; v > up {
+				up = v
+			}
+		}
+		rank[id] = w + up
+	}
+	// Rank-descending order, ascending id on ties (ids currently holds
+	// reverse topological order; sort fully for the deterministic walk).
+	sort.Slice(ids, func(i, j int) bool {
+		ri, rj := rank[ids[i]], rank[ids[j]]
+		if ri != rj { // tie-break adjacent to the ordering
+			return ri > rj
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		if err := st.placeFrontier(id, cands, true); err != nil {
+			return nil, err
+		}
+	}
+	return &Replan{Table: st.table, Moved: st.moved}, nil
+}
+
+// suspectHosts is the set a patch-style re-planner routes around: every
+// down host plus, for an overrun event, the straggling host.
+func (req *ReplanRequest) suspectHosts() map[string]bool {
+	suspect := make(map[string]bool, len(req.Down)+1)
+	for h, d := range req.Down {
+		if d {
+			suspect[h] = true
+		}
+	}
+	if req.Event.Kind == DeviationOverrun && req.Event.Host != "" {
+		suspect[req.Event.Host] = true
+	}
+	return suspect
+}
+
+// eftPatch is the shared cheap repair: walk the frontier in topological
+// order, keep every task whose hosts are all above suspicion, and EFT
+// re-place (append-based) only the tasks touching a suspect host. Returns
+// the state and the re-placed task ids in placement order.
+func eftPatch(req *ReplanRequest) (*replanState, []afg.TaskID, error) {
+	st, front, cands, err := startReplan(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	suspect := req.suspectHosts()
+	safe := make([]HostRef, 0, len(cands))
+	for _, c := range cands {
+		if !suspect[c.Host] {
+			safe = append(safe, c)
+		}
+	}
+	if len(safe) == 0 {
+		// Every up host is suspect (e.g. the sole survivor straggles):
+		// degrade to the full eligible pool rather than fail the repair.
+		safe = cands
+	}
+	order, err := req.Graph.TopoOrder()
+	if err != nil {
+		return nil, nil, fmt.Errorf("scheduler: replan: %w", err)
+	}
+	var moved []afg.TaskID
+	for _, id := range order {
+		if !front[id] {
+			continue
+		}
+		old, ok := req.Table.Get(id)
+		touches := !ok
+		for _, h := range effectiveHosts(old) {
+			if suspect[h] {
+				touches = true
+				break
+			}
+		}
+		if ok && !touches {
+			st.keep(id, old)
+			continue
+		}
+		if err := st.placeBest(id, safe, false); err != nil {
+			return nil, nil, err
+		}
+		moved = append(moved, id)
+	}
+	return st, moved, nil
+}
+
+// eftReplanner is the cheap patch alone.
+type eftReplanner struct{}
+
+func (eftReplanner) Name() string { return "eft" }
+
+func (eftReplanner) Replan(req *ReplanRequest) (*Replan, error) {
+	st, _, err := eftPatch(req)
+	if err != nil {
+		return nil, err
+	}
+	return &Replan{Table: st.table, Moved: st.moved}, nil
+}
+
+// dupReplanner is the eft patch plus task duplication: each re-placed
+// frontier task (and, on an overrun, each frontier child of the straggling
+// task) gets a hedge copy on an idle host — a host running nothing and
+// hosting no frontier assignment. Each idle host carries at most one
+// duplicate. Duplicates are NOT part of the certified table; the churn
+// harness promotes one only if the primary copy's host fails.
+type dupReplanner struct{}
+
+func (dupReplanner) Name() string { return "dup" }
+
+func (dupReplanner) Replan(req *ReplanRequest) (*Replan, error) {
+	st, movedIDs, err := eftPatch(req)
+	if err != nil {
+		return nil, err
+	}
+	suspect := req.suspectHosts()
+	used := map[string]bool{}
+	for _, id := range st.table.Order() {
+		if _, done := req.Done[id]; done {
+			continue // a finished task's host is free again
+		}
+		a, _ := st.table.Get(id)
+		for _, h := range effectiveHosts(a) {
+			used[h] = true
+		}
+	}
+	var idle []HostRef
+	for _, c := range req.eligibleHosts() {
+		if !used[c.Host] && !suspect[c.Host] {
+			idle = append(idle, c)
+		}
+	}
+
+	targets := append([]afg.TaskID(nil), movedIDs...)
+	if req.Event.Kind == DeviationOverrun {
+		front := req.frontierSet()
+		kids := make([]afg.TaskID, 0, 4)
+		for _, l := range req.Graph.Children(req.Event.Task) {
+			if front[l.To] {
+				kids = append(kids, l.To)
+			}
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+		targets = append(targets, kids...)
+	}
+
+	seen := map[afg.TaskID]bool{}
+	var dups []Assignment
+	for _, id := range targets {
+		if len(idle) == 0 {
+			break
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		task := req.Graph.Task(id)
+		bestIx := -1
+		var bestCost float64
+		for i, c := range idle {
+			cost := req.Costs(task, c.Host)
+			if !validCost(cost) {
+				continue
+			}
+			if bestIx < 0 || cost < bestCost {
+				bestIx, bestCost = i, cost
+			}
+		}
+		if bestIx < 0 {
+			continue
+		}
+		h := idle[bestIx]
+		idle = append(idle[:bestIx], idle[bestIx+1:]...)
+		dups = append(dups, Assignment{Task: id, Site: h.Site, Host: h.Host,
+			Hosts: []string{h.Host}, Predicted: bestCost})
+	}
+	return &Replan{Table: st.table, Moved: st.moved, Duplicates: dups}, nil
+}
+
+// CertifyReplan certifies a repaired table: Simulate and ValidateSchedule
+// must both replay it without violations and agree on the makespan
+// bit-for-bit — the same equivalence the property tests pin for initial
+// schedules. Every adopted re-plan goes through this gate.
+func CertifyReplan(g *afg.Graph, table *AllocationTable, model TimeModel, net *netsim.Network) (*ScheduleAudit, error) {
+	mk, err := Simulate(g, table, model, net)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: certify replan: simulate: %w", err)
+	}
+	audit, err := ValidateSchedule(g, table, model, net)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: certify replan: %w", err)
+	}
+	if audit.Makespan != mk { //vdce:ignore floateq bit-identity between the replay paths is the certification contract, not an approximate comparison
+		return nil, fmt.Errorf("scheduler: certify replan: validator makespan %v != simulator %v", audit.Makespan, mk)
+	}
+	return audit, nil
+}

@@ -9,7 +9,9 @@ package site
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/afg"
@@ -50,6 +52,12 @@ type Config struct {
 	// (scheduler.Lookup name: "faithful", "eft", "heft", "cpop", ...).
 	// Empty selects "eft" when AvailabilityAware is set, else "faithful".
 	Policy string
+
+	// Replanner names the frontier re-planner this site's executions run
+	// after a mid-execution host failure (scheduler.LookupReplanner name:
+	// "heft", "eft", "dup"). Empty selects "eft"; "off" disables frontier
+	// re-planning so only the per-task Rescheduler path remains.
+	Replanner string
 }
 
 // BatchOptions tunes one ScheduleBatchOpts call; the zero value follows
@@ -86,6 +94,12 @@ type Manager struct {
 	Gate     *datamgr.Gate
 
 	cfg Config
+
+	// Deviation fan-out: in-flight executions subscribe here and receive
+	// the names of hosts the monitoring plane reports down (§2.3.1).
+	subMu   sync.Mutex
+	subs    map[int]chan string
+	nextSub int
 }
 
 // NewManager builds a site around an existing host pool: every host is
@@ -169,10 +183,24 @@ func (m *Manager) UpdateWorkload(ms monitor.Measurement) {
 }
 
 // HostDown marks the host "down" in the repository so no further tasks are
-// mapped onto it.
+// mapped onto it, and notifies subscribed in-flight executions so they can
+// re-plan their unstarted frontier off the dead host.
 func (m *Manager) HostDown(host string, at time.Time) {
 	m.Repo.Resources.SetDown(host, true)
 	m.Cache.Invalidate(host)
+	m.subMu.Lock()
+	ids := make([]int, 0, len(m.subs))
+	for id := range m.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		select {
+		case m.subs[id] <- host:
+		default: // subscriber lagging: it will see the repo mark instead
+		}
+	}
+	m.subMu.Unlock()
 }
 
 // HostUp clears the down mark after recovery.
@@ -248,6 +276,128 @@ func (m *Manager) Rescheduler() runtime.Rescheduler {
 			return scheduler.Assignment{}, scheduler.ErrNoEligibleHost
 		}
 		return best, nil
+	}
+}
+
+// SubscribeDeviations registers a listener for monitor-reported host
+// failures. The returned cancel must be called when the execution ends;
+// sends never block (a lagging subscriber just misses the nudge and relies
+// on the repository's down marks instead).
+func (m *Manager) SubscribeDeviations() (<-chan string, func()) {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	if m.subs == nil {
+		m.subs = make(map[int]chan string)
+	}
+	id := m.nextSub
+	m.nextSub++
+	ch := make(chan string, 16)
+	m.subs[id] = ch
+	return ch, func() {
+		m.subMu.Lock()
+		defer m.subMu.Unlock()
+		delete(m.subs, id)
+	}
+}
+
+// FrontierReplanner builds the runtime's whole-frontier rescheduling
+// callback from the site's configured re-planner: candidate hosts and the
+// cost model come from the resource-performance database (the same data the
+// original placement used), settled tasks are modelled as running to their
+// predicted finish, and the repaired table is certified by ValidateSchedule
+// before any assignment is adopted. Returns nil when Config.Replanner is
+// "off".
+func (m *Manager) FrontierReplanner() runtime.FrontierReplan {
+	name := m.cfg.Replanner
+	if name == "off" {
+		return nil
+	}
+	if name == "" {
+		name = "eft"
+	}
+	rp, lookupErr := scheduler.LookupReplanner(name)
+	return func(ctx context.Context, g *afg.Graph, table *scheduler.AllocationTable, settled map[afg.TaskID]bool, failedHost string) (map[afg.TaskID]scheduler.Assignment, error) {
+		if lookupErr != nil {
+			return nil, lookupErr
+		}
+		down := map[string]bool{failedHost: true}
+		var hosts []scheduler.HostRef
+		speed := make(map[string]float64)
+		load := make(map[string]float64)
+		for _, rec := range m.Repo.Resources.List() {
+			// Down hosts keep cost-model entries — settled work already
+			// sitting on them must still simulate — but contribute no
+			// candidate columns.
+			speed[rec.Static.HostName] = rec.Static.SpeedFactor
+			load[rec.Static.HostName] = rec.Dynamic.Load
+			if rec.Dynamic.Down {
+				down[rec.Static.HostName] = true
+				continue
+			}
+			hosts = append(hosts, scheduler.HostRef{Site: rec.Static.Site, Host: rec.Static.HostName})
+		}
+		sort.Slice(hosts, func(i, j int) bool {
+			if hosts[i].Site != hosts[j].Site {
+				return hosts[i].Site < hosts[j].Site
+			}
+			return hosts[i].Host < hosts[j].Host
+		})
+		costs := func(task *afg.Task, host string) float64 {
+			sf, ok := speed[host]
+			if !ok || sf <= 0 {
+				return math.NaN()
+			}
+			cost := task.ComputeCost
+			if cost <= 0 {
+				// Graphs built from the task registry carry no abstract
+				// compute cost; fall back to the per-task prediction the
+				// committed table was placed with.
+				if a, ok := table.Get(task.ID); ok && a.Predicted > 0 {
+					cost = a.Predicted
+				} else {
+					cost = 1
+				}
+			}
+			return cost / sf * (1 + load[host])
+		}
+		// Settled tasks keep their slots: model each as running until its
+		// predicted finish so the re-planner seeds host timelines from them
+		// (sorted walk: the request must not depend on map order).
+		running := make(map[afg.TaskID]float64, len(settled))
+		for _, id := range g.TaskIDs() {
+			if !settled[id] {
+				continue
+			}
+			if a, ok := table.Get(id); ok {
+				running[id] = a.Predicted
+			}
+		}
+		rep, err := rp.Replan(&scheduler.ReplanRequest{
+			Graph:   g,
+			Table:   table,
+			Running: running,
+			Down:    down,
+			Event:   scheduler.Deviation{Kind: scheduler.DeviationHostDown, Host: failedHost},
+			Costs:   costs,
+			Hosts:   hosts,
+			Net:     m.Net,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := scheduler.CertifyReplan(g, rep.Table, costs, m.Net); err != nil {
+			return nil, err
+		}
+		moved := make(map[afg.TaskID]scheduler.Assignment)
+		for _, id := range g.TaskIDs() {
+			if settled[id] {
+				continue
+			}
+			if na, ok := rep.Table.Get(id); ok {
+				moved[id] = na
+			}
+		}
+		return moved, nil
 	}
 }
 
@@ -353,15 +503,19 @@ func (m *Manager) ExecuteLocal(ctx context.Context, g *afg.Graph, remotes []sche
 	if resolve == nil {
 		resolve = m.Host
 	}
+	dev, cancelDev := m.SubscribeDeviations()
+	defer cancelDev()
 	res, err := runtime.Execute(ctx, g, table, runtime.Options{
-		Registry:      m.Registry,
-		Hosts:         resolve,
-		Net:           m.Net,
-		Gate:          m.Gate,
-		UseSockets:    m.cfg.UseSockets,
-		LoadThreshold: m.cfg.LoadThreshold,
-		Reschedule:    m.Rescheduler(),
-		MaxAttempts:   m.Pool.Len() + 1, // worst case: every other host fails first
+		Registry:       m.Registry,
+		Hosts:          resolve,
+		Net:            m.Net,
+		Gate:           m.Gate,
+		UseSockets:     m.cfg.UseSockets,
+		LoadThreshold:  m.cfg.LoadThreshold,
+		Reschedule:     m.Rescheduler(),
+		FrontierReplan: m.FrontierReplanner(),
+		Deviations:     dev,
+		MaxAttempts:    m.Pool.Len() + 1, // worst case: every other host fails first
 	})
 	if err != nil {
 		return res, table, err
@@ -412,15 +566,19 @@ func (m *Manager) ExecuteDistributedPolicy(ctx context.Context, g *afg.Graph, pe
 	if err != nil {
 		return nil, nil, err
 	}
+	dev, cancelDev := m.SubscribeDeviations()
+	defer cancelDev()
 	res, err := runtime.Execute(ctx, g, table, runtime.Options{
-		Registry:      m.Registry,
-		Hosts:         m.Host, // local hosts only; remote hosts go via RemoteExec
-		Net:           m.Net,
-		Gate:          m.Gate,
-		UseSockets:    m.cfg.UseSockets,
-		LoadThreshold: m.cfg.LoadThreshold,
-		Reschedule:    m.Rescheduler(),
-		MaxAttempts:   m.Pool.Len() + 1,
+		Registry:       m.Registry,
+		Hosts:          m.Host, // local hosts only; remote hosts go via RemoteExec
+		Net:            m.Net,
+		Gate:           m.Gate,
+		UseSockets:     m.cfg.UseSockets,
+		LoadThreshold:  m.cfg.LoadThreshold,
+		Reschedule:     m.Rescheduler(),
+		FrontierReplan: m.FrontierReplanner(),
+		Deviations:     dev,
+		MaxAttempts:    m.Pool.Len() + 1,
 		RemoteExec: func(ctx context.Context, assign scheduler.Assignment, task *afg.Task, inputs []tasklib.Value) (tasklib.Value, error) {
 			peer, ok := byName[assign.Site]
 			if !ok {
